@@ -1,0 +1,15 @@
+"""ABL-FEAT: basic vs extended features, tree vs boosting (paper SIV-C)."""
+
+from repro.bench.figures import run_ablation_features
+
+
+def test_ablation_features(benchmark, ctx, persist):
+    result = benchmark.pedantic(
+        lambda: run_ablation_features(ctx), iterations=1, rounds=1
+    )
+    persist(result)
+    assert set(result.data) == {
+        "basic+tree", "basic+boosted", "extended+tree", "extended+boosted"
+    }
+    # All variants learn something usable.
+    assert all(err < 0.5 for err in result.data.values())

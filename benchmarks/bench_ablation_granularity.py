@@ -1,0 +1,15 @@
+"""ABL-U: granularity sweep ablation (design-choice study)."""
+
+from repro.bench.figures import run_ablation_granularity
+
+
+def test_ablation_granularity(benchmark, ctx, persist):
+    result = benchmark.pedantic(
+        lambda: run_ablation_granularity(ctx), iterations=1, rounds=1
+    )
+    persist(result)
+    for label, times in result.data.items():
+        best = min(times.values())
+        worst = max(times.values())
+        # The sweep spans a real decision: schemes differ measurably.
+        assert worst > best

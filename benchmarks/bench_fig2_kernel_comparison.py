@@ -1,0 +1,28 @@
+"""FIG2a/b: kernel choice matters per input and per bin (paper Fig. 2)."""
+
+from repro.bench.figures import run_fig2a, run_fig2b
+
+
+def test_fig2a_kernels_across_inputs(benchmark, ctx, persist):
+    result = benchmark.pedantic(
+        lambda: run_fig2a(ctx), iterations=1, rounds=1
+    )
+    persist(result)
+    short = result.data["short-rows(road,~2.5nnz)"]
+    long_ = result.data["long-rows(cfd,~600nnz)"]
+    # Shape: narrow kernels win short rows, wide kernels win long rows.
+    assert min(short, key=short.get) in ("serial", "subvector2")
+    assert min(long_, key=long_.get) in ("subvector16", "subvector64",
+                                         "vector")
+    assert short["vector"] > 3 * min(short.values())
+    assert long_["serial"] > 1.5 * min(long_.values())
+
+
+def test_fig2b_kernels_across_bins(benchmark, ctx, persist):
+    result = benchmark.pedantic(
+        lambda: run_fig2b(ctx), iterations=1, rounds=1
+    )
+    persist(result)
+    bests = {entry["best"] for entry in result.data.values()}
+    # Different bins of the same matrix prefer different kernels.
+    assert len(bests) >= 2

@@ -1,0 +1,13 @@
+"""FIG5: pooled nnz/row histogram of the collection (paper Fig. 5)."""
+
+from repro.bench.figures import run_fig5
+
+
+def test_fig5_histogram(benchmark, ctx, persist):
+    result = benchmark.pedantic(
+        lambda: run_fig5(ctx, n_matrices=200), iterations=1, rounds=1
+    )
+    persist(result)
+    # Paper: ~98.7% of rows have <= 100 nnz; synthetic corpus matches
+    # the short-row-dominated shape.
+    assert result.data["frac_le_100"] > 0.93

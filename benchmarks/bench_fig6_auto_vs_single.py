@@ -1,0 +1,18 @@
+"""FIG6: kernel-auto vs kernel-serial / kernel-vector (paper Fig. 6)."""
+
+from repro.bench.figures import run_fig6
+
+
+def test_fig6_auto_vs_single_kernels(benchmark, ctx, persist):
+    result = benchmark.pedantic(
+        lambda: run_fig6(ctx), iterations=1, rounds=1
+    )
+    persist(result)
+    ser = [d["serial"] / d["auto"] for d in result.data.values()]
+    vec = [d["vector"] / d["auto"] for d in result.data.values()]
+    # auto is never beaten by either default (allowing 2% noise)...
+    assert min(ser) > 0.98 and min(vec) > 0.98
+    # ...and wins big somewhere, with a wide spread as in the paper
+    # (1.7-11.9x over serial, 1.2-52x over vector).
+    assert max(ser) > 2.5
+    assert max(vec) > 8.0

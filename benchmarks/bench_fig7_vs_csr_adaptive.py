@@ -1,0 +1,16 @@
+"""FIG7: speedup over CSR-Adaptive (paper Fig. 7: wins 10/16, <=1.9x)."""
+
+from repro.bench.figures import run_fig7
+
+
+def test_fig7_vs_csr_adaptive(benchmark, ctx, persist):
+    result = benchmark.pedantic(
+        lambda: run_fig7(ctx), iterations=1, rounds=1
+    )
+    persist(result)
+    ratios = [d["csr_adaptive"] / d["auto"] for d in result.data.values()]
+    # Both systems stay within a modest factor of each other everywhere
+    # (paper: <=1.9x in auto's favour; CA wins 6 by smaller margins).
+    assert all(0.5 < r < 2.5 for r in ratios)
+    # auto wins at least the nnz-heavy irregular matrices.
+    assert sum(r > 1 for r in ratios) >= 3

@@ -1,0 +1,21 @@
+"""FIG8: binning overhead vs granularity U (paper Fig. 8)."""
+
+import os
+
+from repro.bench.figures import run_fig8
+
+#: Smaller default than the paper's 1e7 keeps the bench snappy; set
+#: REPRO_FIG8_ROWS=10000000 for the paper-sized run.
+N_ROWS = int(os.environ.get("REPRO_FIG8_ROWS", "2000000"))
+
+
+def test_fig8_binning_overhead(benchmark, ctx, persist):
+    result = benchmark.pedantic(
+        lambda: run_fig8(ctx, nrows=N_ROWS), iterations=1, rounds=1
+    )
+    persist(result)
+    dev = result.data["device"]
+    # Overhead decays with U; U=1 dominates, negligible by U=100.
+    us = sorted(dev)
+    assert all(dev[a] >= dev[b] for a, b in zip(us, us[1:]))
+    assert dev[1] > 20 * dev[100]

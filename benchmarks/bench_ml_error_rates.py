@@ -1,0 +1,14 @@
+"""ML-ERR: two-stage classifier error rates (paper: ~5% / ~15%)."""
+
+from repro.bench.figures import run_ml_error_rates
+
+
+def test_ml_error_rates(benchmark, ctx, persist):
+    result = benchmark.pedantic(
+        lambda: run_ml_error_rates(ctx), iterations=1, rounds=1
+    )
+    persist(result)
+    # Hold-out errors stay in a usable band (paper: 5% / 15%).
+    assert result.data["stage1_error"] <= 0.25
+    assert result.data["stage2_error"] <= 0.45
+    assert result.data["stage1_rules"] >= 1

@@ -1,0 +1,25 @@
+"""SENS-DEV: robustness of the conclusions to device-model constants.
+
+A simulation-based reproduction should demonstrate its who-wins results
+survive perturbation of the hand-set machine constants (bandwidth,
+overlap penalty).  Uses oracle plans to factor out classifier noise.
+"""
+
+from repro.bench.figures import run_sensitivity_device
+
+
+def test_sensitivity_device(benchmark, ctx, persist):
+    result = benchmark.pedantic(
+        lambda: run_sensitivity_device(ctx), iterations=1, rounds=1
+    )
+    persist(result)
+    for label, per_matrix in result.data.items():
+        for name, r in per_matrix.items():
+            # The oracle never loses to either default (2% tolerance)...
+            assert r["serial"] > 0.98, (label, name)
+            assert r["vector"] > 0.98, (label, name)
+        # ...and the matrix-class ordering is stable on every variant:
+        # short-row matrices punish vector, long-row matrices punish
+        # serial.
+        assert per_matrix["roadNet-CA"]["vector"] > 3.0, label
+        assert per_matrix["crankseg_2"]["serial"] > 1.5, label

@@ -1,0 +1,13 @@
+"""TAB1: Table I feature parameters on the representative set."""
+
+from repro.bench.figures import run_table1
+
+
+def test_table1_features(benchmark, ctx, persist):
+    result = benchmark.pedantic(
+        lambda: run_table1(ctx), iterations=1, rounds=1
+    )
+    persist(result)
+    assert len(result.data) == 16
+    for feats in result.data.values():
+        assert feats.min_nnz <= feats.avg_nnz <= feats.max_nnz

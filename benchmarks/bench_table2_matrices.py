@@ -1,0 +1,16 @@
+"""TAB2: the 16 representative matrices vs their paper shapes."""
+
+from repro.bench.figures import run_table2
+
+
+def test_table2_matrices(benchmark, ctx, persist):
+    result = benchmark.pedantic(
+        lambda: run_table2(ctx), iterations=1, rounds=1
+    )
+    persist(result)
+    assert len(result.data) == 16
+    # Per-row density signatures track the paper within 30%.
+    for name, d in result.data.items():
+        assert d["avg_nnz"] == __import__("pytest").approx(
+            d["paper_avg_nnz"], rel=0.3
+        ), name

@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark suite.
+
+The trained tuners are expensive (tens of seconds) and shared across
+every experiment via :func:`repro.bench.harness.bench_context`'s
+module-level cache; fixtures here just expose them and persist each
+experiment's report under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.bench.harness import bench_context
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    """The shared trained benchmark context (device + tuners)."""
+    return bench_context()
+
+
+@pytest.fixture(scope="session")
+def persist():
+    """Callable writing an experiment report to benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _persist(result) -> None:
+        path = RESULTS_DIR / f"{result.experiment}.txt"
+        path.write_text(result.report + "\n", encoding="utf-8")
+        print(f"\n{result.report}\n[saved to {path}]")
+
+    return _persist

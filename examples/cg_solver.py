@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Conjugate-gradient solver driven by auto-tuned SpMV.
+
+The paper's opening motivation: "SpMV is an important computational
+kernel in sparse linear system solvers".  This example builds a 2-D
+Poisson system (5-point stencil), plans the SpMV *once* with the
+auto-tuner, and reuses the plan inside every CG iteration -- the
+amortisation pattern real solvers use (plan once, multiply thousands of
+times).  It reports both the solver's numerical behaviour and the
+accumulated simulated SpMV time under three strategies.
+
+Run:  python examples/cg_solver.py
+"""
+
+import numpy as np
+
+from repro import AutoTuner, SingleKernelSpMV, generate_collection
+from repro.formats import CSRMatrix
+from repro.matrices import stencil_2d
+
+
+def conjugate_gradient(
+    apply_a,
+    b: np.ndarray,
+    *,
+    tol: float = 1e-8,
+    max_iter: int = 500,
+):
+    """Textbook CG for SPD systems; ``apply_a`` is the matvec closure.
+
+    Returns ``(x, iterations, residual_history)``.
+    """
+    x = np.zeros_like(b)
+    r = b - apply_a(x)
+    p = r.copy()
+    rs = float(r @ r)
+    history = [np.sqrt(rs)]
+    for it in range(1, max_iter + 1):
+        ap = apply_a(p)
+        alpha = rs / float(p @ ap)
+        x += alpha * p
+        r -= alpha * ap
+        rs_new = float(r @ r)
+        history.append(np.sqrt(rs_new))
+        if np.sqrt(rs_new) < tol * history[0]:
+            return x, it, history
+        p = r + (rs_new / rs) * p
+        rs = rs_new
+    return x, max_iter, history
+
+
+def main() -> None:
+    # The 5-point Laplacian is singular (Neumann-like rows sum to >=0 on
+    # the boundary only); shift it to make a definite system.
+    n_side = 120
+    lap = stencil_2d(n_side, n_side, points=5)
+    shifted = CSRMatrix(
+        lap.rowptr,
+        lap.colidx,
+        lap.val + np.where(lap.colidx == np.repeat(
+            np.arange(lap.nrows), lap.row_lengths()), 0.05, 0.0),
+        lap.shape,
+    )
+    rng = np.random.default_rng(0)
+    b = rng.standard_normal(shifted.nrows)
+    print(f"Poisson system: {shifted} ({n_side}x{n_side} grid)")
+
+    print("\ntraining the auto-tuner ...")
+    tuner = AutoTuner(seed=0)
+    tuner.fit(generate_collection(60, seed=0, size_range=(2_000, 20_000)))
+    plan = tuner.plan(shifted)
+    print(f"plan: {plan.scheme.name}, kernels {plan.kernel_summary()}")
+
+    strategies = {
+        "kernel-auto": lambda v: tuner.run(shifted, v, plan=plan),
+        "kernel-serial": lambda v: SingleKernelSpMV(
+            "serial", tuner.device
+        ).run(shifted, v),
+        "kernel-vector": lambda v: SingleKernelSpMV(
+            "vector", tuner.device
+        ).run(shifted, v),
+    }
+
+    print(f"\n{'strategy':14s} {'iters':>5s} {'rel.residual':>12s} "
+          f"{'SpMV sim time':>14s}")
+    for label, runner in strategies.items():
+        accumulated = {"t": 0.0}
+
+        def apply_a(v, runner=runner, acc=accumulated):
+            result = runner(v)
+            acc["t"] += result.seconds
+            return result.u
+
+        x, iters, history = conjugate_gradient(apply_a, b, tol=1e-8)
+        residual = np.linalg.norm(shifted @ x - b) / np.linalg.norm(b)
+        print(
+            f"{label:14s} {iters:5d} {residual:12.2e} "
+            f"{accumulated['t'] * 1e3:11.2f} ms"
+        )
+
+    print("\nall strategies converge identically (same arithmetic);")
+    print("the auto-tuned plan just spends less simulated device time.")
+
+
+if __name__ == "__main__":
+    main()

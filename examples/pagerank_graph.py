@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""PageRank over a scale-free web graph with auto-tuned SpMV.
+
+Graph analytics is the other workload family the paper's introduction
+motivates (the representative set contains four graph matrices).  This
+example builds a power-law web graph with networkx, converts it to the
+library's CSR format, and runs power-iteration PageRank where every
+iteration's SpMV uses the tuner's plan.  It also contrasts the plan
+against the one the tuner picks for a road network -- two graphs, two
+different strategies, chosen automatically from the same trained model.
+
+Run:  python examples/pagerank_graph.py
+"""
+
+import networkx as nx
+import numpy as np
+
+from repro import AutoTuner, generate_collection
+from repro.formats import CSRMatrix
+from repro.matrices import road_network
+
+
+def graph_to_csr(graph: nx.DiGraph) -> CSRMatrix:
+    """Column-stochastic transition matrix of ``graph`` in CSR form."""
+    n = graph.number_of_nodes()
+    nodes = {node: i for i, node in enumerate(graph.nodes())}
+    rows, cols, vals = [], [], []
+    for u in graph.nodes():
+        out = list(graph.successors(u))
+        if not out:
+            continue
+        w = 1.0 / len(out)
+        for vtx in out:
+            rows.append(nodes[vtx])  # transition INTO vtx
+            cols.append(nodes[u])
+            vals.append(w)
+    return CSRMatrix.from_coo_arrays(
+        np.array(rows), np.array(cols), np.array(vals), (n, n)
+    )
+
+
+def pagerank(tuner: AutoTuner, matrix: CSRMatrix, *, damping: float = 0.85,
+             tol: float = 1e-10, max_iter: int = 200):
+    """Power iteration; returns (scores, iterations, simulated seconds)."""
+    n = matrix.nrows
+    rank = np.full(n, 1.0 / n)
+    plan = tuner.plan(matrix)
+    total = 0.0
+    for it in range(1, max_iter + 1):
+        result = tuner.run(matrix, rank, plan=plan)
+        total += result.seconds
+        new_rank = damping * result.u + (1.0 - damping) / n
+        # Redistribute the dangling-node mass uniformly.
+        new_rank += damping * (1.0 - result.u.sum()) / n
+        if np.abs(new_rank - rank).sum() < tol:
+            return new_rank, it, total, plan
+        rank = new_rank
+    return rank, max_iter, total, plan
+
+
+def main() -> None:
+    print("training the auto-tuner ...")
+    tuner = AutoTuner(seed=0)
+    tuner.fit(generate_collection(60, seed=0, size_range=(2_000, 20_000)))
+
+    # --- a scale-free web graph ---------------------------------------
+    web = nx.scale_free_graph(20_000, seed=1)
+    web = nx.DiGraph(web)  # collapse multi-edges
+    transition = graph_to_csr(web)
+    scores, iters, sim_t, plan = pagerank(tuner, transition)
+    top = np.argsort(scores)[::-1][:5]
+    print(f"\nscale-free web graph: {transition}")
+    print(f"plan: {plan.scheme.name}, kernels {plan.kernel_summary()}")
+    print(f"PageRank converged in {iters} iterations "
+          f"({sim_t * 1e3:.2f} ms simulated SpMV time)")
+    print("top-5 nodes:", ", ".join(
+        f"{int(i)}({scores[i]:.4f})" for i in top))
+    # Sanity: ranks form a distribution.
+    assert abs(scores.sum() - 1.0) < 1e-6
+
+    # --- a road network for contrast ----------------------------------
+    road = road_network(40_000, seed=2)
+    # Random walk: row-normalise the adjacency, then transpose so that
+    # column j spreads node j's rank over its neighbours.
+    out_deg = np.maximum(road.row_lengths(), 1).astype(float)
+    normalised = CSRMatrix(
+        road.rowptr,
+        road.colidx,
+        road.val * 0.0 + 1.0 / np.repeat(out_deg, road.row_lengths()),
+        road.shape,
+    )
+    walk = normalised.transpose()
+    _, iters2, sim_t2, plan2 = pagerank(tuner, walk)
+    print(f"\nroad network: {walk}")
+    print(f"plan: {plan2.scheme.name}, kernels {plan2.kernel_summary()}")
+    print(f"PageRank converged in {iters2} iterations "
+          f"({sim_t2 * 1e3:.2f} ms simulated SpMV time)")
+
+    print("\nthe same trained model selects per-input strategies "
+          "automatically.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Quickstart: train the auto-tuner, plan and run one SpMV.
+
+This walks the paper's Figure 3 end to end:
+
+1. build a training corpus (a synthetic stand-in for the UF collection),
+2. offline-train the two-stage C5.0-style classifier,
+3. feed a *new* matrix through the predict path (features -> binning
+   scheme -> per-bin kernels),
+4. execute the plan and compare against the single-kernel defaults.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    AutoTuner,
+    SingleKernelSpMV,
+    bimodal_rows,
+    generate_collection,
+)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1-2. Offline phase: corpus + training.  80 small matrices keep the
+    # demo quick; accuracy improves with more (the paper uses >2000).
+    # ------------------------------------------------------------------
+    print("training the auto-tuner on a synthetic corpus ...")
+    tuner = AutoTuner(seed=0)
+    corpus = generate_collection(80, seed=0, size_range=(2_000, 30_000))
+    report = tuner.fit(corpus)
+    print(f"  {report}")
+
+    # ------------------------------------------------------------------
+    # 3. Predict phase on an unseen matrix: mostly 2-nnz rows plus
+    # contiguous blocks of 300-nnz rows (the paper's worked example).
+    # ------------------------------------------------------------------
+    matrix = bimodal_rows(
+        60_000, short_len=2, long_len=300, long_fraction=0.05, seed=42
+    )
+    print(f"\nnew matrix: {matrix}")
+    plan = tuner.plan(matrix)
+    print("\npredicted execution plan:")
+    print(plan.describe())
+
+    # ------------------------------------------------------------------
+    # 4. Execute and validate.
+    # ------------------------------------------------------------------
+    v = np.random.default_rng(7).standard_normal(matrix.ncols)
+    result = tuner.run(matrix, v, plan=plan)
+    assert np.allclose(result.u, matrix @ v, atol=1e-8), "wrong result!"
+    print(f"\nresult verified against the reference SpMV")
+    print(f"simulated time (kernel-auto) : {result.seconds * 1e3:8.3f} ms")
+
+    for kernel_name in ("serial", "vector"):
+        baseline = SingleKernelSpMV(kernel_name, tuner.device)
+        t = baseline.time(matrix)
+        print(
+            f"simulated time ({baseline.name:13s}): {t * 1e3:8.3f} ms "
+            f"({t / result.seconds:.2f}x slower)"
+        )
+
+    # Peek at what the classifier actually learned.
+    print("\nstage-1 ruleset (binning-scheme selection):")
+    print(tuner.stage1_rules.render())
+
+
+if __name__ == "__main__":
+    main()

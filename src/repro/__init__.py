@@ -1,0 +1,115 @@
+"""repro: auto-tuned CSR SpMV for multi- and many-core processors.
+
+A production-quality reproduction of *"Auto-Tuning Strategies for
+Parallelizing Sparse Matrix-Vector (SpMV) Multiplication on Multi- and
+Many-Core Processors"* (Kaixi Hou, Wu-chun Feng, Shuai Che).
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import AutoTuner, generate_collection, bimodal_rows
+>>> tuner = AutoTuner()
+>>> report = tuner.fit(generate_collection(60, seed=0, size_range=(200, 2000)))
+>>> matrix = bimodal_rows(5_000, seed=1)
+>>> result = tuner.run(matrix, np.ones(matrix.ncols))
+>>> np.allclose(result.u, matrix @ np.ones(matrix.ncols))
+True
+
+See ``README.md`` for the architecture overview and ``DESIGN.md`` for
+the full system inventory.
+"""
+
+from repro.baselines import CSRAdaptiveSpMV, MergeSpMV, SingleKernelSpMV
+from repro.binning import (
+    CoarseBinning,
+    FineBinning,
+    HybridBinning,
+    RowBlockBinning,
+    SingleBinning,
+)
+from repro.core import (
+    AutoTuner,
+    ExecutionPlan,
+    TrainingReport,
+    TuningSpace,
+    oracle_plan,
+)
+from repro.core.hetero import CPUModelSpec, HeterogeneousScheduler
+from repro.device import (
+    CPUExecutor,
+    DeviceSpec,
+    PartitionStrategy,
+    SimulatedDevice,
+)
+from repro.features import extract_features
+from repro.formats import (
+    COOMatrix,
+    CSRMatrix,
+    DIAMatrix,
+    ELLMatrix,
+    HYBMatrix,
+    convert,
+    read_matrix_market,
+    write_matrix_market,
+)
+from repro.kernels import DEFAULT_KERNEL_NAMES, get_kernel, kernel_registry
+from repro.spgemm import BinnedSpGEMM, spgemm_reference
+from repro.matrices import (
+    REPRESENTATIVE_NAMES,
+    RowStats,
+    bimodal_rows,
+    generate_collection,
+    representative_matrix,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # core framework
+    "AutoTuner",
+    "TrainingReport",
+    "TuningSpace",
+    "ExecutionPlan",
+    "oracle_plan",
+    # formats
+    "CSRMatrix",
+    "COOMatrix",
+    "ELLMatrix",
+    "DIAMatrix",
+    "HYBMatrix",
+    "convert",
+    "read_matrix_market",
+    "write_matrix_market",
+    # device
+    "DeviceSpec",
+    "SimulatedDevice",
+    "CPUExecutor",
+    "PartitionStrategy",
+    # kernels
+    "DEFAULT_KERNEL_NAMES",
+    "get_kernel",
+    "kernel_registry",
+    # binning
+    "CoarseBinning",
+    "FineBinning",
+    "HybridBinning",
+    "SingleBinning",
+    "RowBlockBinning",
+    # baselines
+    "SingleKernelSpMV",
+    "CSRAdaptiveSpMV",
+    "MergeSpMV",
+    # extensions (paper SI / SVI generalisations)
+    "BinnedSpGEMM",
+    "spgemm_reference",
+    "HeterogeneousScheduler",
+    "CPUModelSpec",
+    # matrices & features
+    "REPRESENTATIVE_NAMES",
+    "representative_matrix",
+    "generate_collection",
+    "bimodal_rows",
+    "RowStats",
+    "extract_features",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Baseline SpMV implementations the paper compares against.
+
+- :mod:`repro.baselines.single_kernel` -- the "default SpMV using only
+  one single kernel" of Figure 6 (kernel-serial and kernel-vector are
+  the two ends of the threading-granularity spectrum).
+- :mod:`repro.baselines.csr_adaptive` -- CSR-Adaptive (Greathouse &
+  Daga), the state-of-the-art comparator of Figure 7: inter-bin
+  balanced row blocks with in-kernel CSR-Stream / CSR-Vector selection,
+  all in a single launch.
+- :mod:`repro.baselines.merge_spmv` -- merge-based SpMV (Merrill &
+  Garland), which the paper names as a future kernel candidate; included
+  as an extension baseline.
+"""
+
+from repro.baselines.csr_adaptive import CSRAdaptiveSpMV
+from repro.baselines.merge_spmv import MergeSpMV, merge_path_partition
+from repro.baselines.single_kernel import SingleKernelSpMV
+
+__all__ = [
+    "SingleKernelSpMV",
+    "CSRAdaptiveSpMV",
+    "MergeSpMV",
+    "merge_path_partition",
+]

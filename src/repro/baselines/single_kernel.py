@@ -1,0 +1,47 @@
+"""Single-kernel SpMV: one kernel, one bin, all rows.
+
+The "default SpMV" of the paper's Figure 6.  ``kernel-serial`` and
+``kernel-vector`` are the canonical choices ("two ends of threading
+granularity"), but any registry kernel works, which is also what the
+Figure 9 single-bin sweep needs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.device.executor import SimulatedDevice, SpMVResult
+from repro.formats.csr import CSRMatrix
+from repro.kernels.registry import get_kernel
+
+__all__ = ["SingleKernelSpMV"]
+
+
+class SingleKernelSpMV:
+    """Whole-matrix SpMV with one fixed kernel (no binning)."""
+
+    def __init__(self, kernel_name: str, device: Optional[SimulatedDevice] = None):
+        self.kernel = get_kernel(kernel_name)
+        self.device = device if device is not None else SimulatedDevice()
+
+    @property
+    def name(self) -> str:
+        """Report label, e.g. ``"kernel-serial"``."""
+        return f"kernel-{self.kernel.name}"
+
+    def run(self, matrix: CSRMatrix, v: np.ndarray) -> SpMVResult:
+        """Execute and account a single launch over all rows."""
+        rows = np.arange(matrix.nrows, dtype=np.int64)
+        return self.device.run_spmv(matrix, v, [(self.kernel, rows)])
+
+    def time(self, matrix: CSRMatrix, *, locality: Optional[float] = None) -> float:
+        """Simulated seconds without computing the numerical result."""
+        from repro.device.memory import effective_gather_locality
+
+        g = (effective_gather_locality(matrix, self.device.spec)
+             if locality is None else locality)
+        return self.device.time_dispatch(
+            self.kernel, matrix.row_lengths(), g
+        )

@@ -1,0 +1,18 @@
+"""Experiment drivers behind the ``benchmarks/`` suite.
+
+Each paper artefact (table or figure) has one driver function in
+:mod:`repro.bench.figures` returning both structured data and a rendered
+text report; the pytest-benchmark files under ``benchmarks/`` are thin
+wrappers that call a driver, print/persist its report and time it.
+Shared setup (trained tuners, the representative suite) lives in
+:mod:`repro.bench.harness` with in-process caching so one training run
+serves every experiment.
+"""
+
+from repro.bench.harness import (
+    BenchContext,
+    bench_context,
+    representative_suite,
+)
+
+__all__ = ["BenchContext", "bench_context", "representative_suite"]

@@ -1,0 +1,96 @@
+"""Shared benchmark setup: trained tuners and the evaluation suite.
+
+Training the two-stage model over a corpus takes tens of seconds, so a
+module-level cache hands the same fitted :class:`~repro.core.AutoTuner`
+(and its paper-space twin) to every experiment in a session.  Scales are
+environment-tunable:
+
+- ``REPRO_BENCH_SCALE``   -- representative-matrix scale (default 0.25);
+- ``REPRO_BENCH_CORPUS``  -- training corpus size (default 200; the
+  paper uses >2000, which also works but takes proportionally longer).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.framework import AutoTuner
+from repro.core.tuning_space import TuningSpace
+from repro.device.executor import SimulatedDevice
+from repro.formats.csr import CSRMatrix
+from repro.matrices.collection import generate_collection
+from repro.matrices.representative import REPRESENTATIVE_NAMES, representative_matrix
+
+__all__ = ["BenchContext", "bench_context", "representative_suite", "bench_scale"]
+
+_CONTEXT_CACHE: Dict[Tuple[int, int], "BenchContext"] = {}
+_SUITE_CACHE: Dict[Tuple[float, int], Dict[str, CSRMatrix]] = {}
+
+
+def bench_scale() -> float:
+    """Representative-matrix scale for this session."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+
+
+def corpus_size() -> int:
+    """Training corpus size for this session."""
+    return int(os.environ.get("REPRO_BENCH_CORPUS", "200"))
+
+
+@dataclass
+class BenchContext:
+    """One device + the tuners every experiment shares.
+
+    ``tuner`` uses the extended tuning space (single-bin strategy
+    included -- the §IV-C future-work extension); ``paper_tuner`` uses
+    the strictly-paper space (coarse granularities only).
+    """
+
+    device: SimulatedDevice
+    tuner: AutoTuner
+    paper_tuner: AutoTuner
+    corpus_seed: int
+    n_corpus: int
+
+
+def bench_context(
+    *, seed: int = 0, n_corpus: Optional[int] = None
+) -> BenchContext:
+    """Build (or fetch from cache) the shared trained context."""
+    n = corpus_size() if n_corpus is None else int(n_corpus)
+    key = (seed, n)
+    if key in _CONTEXT_CACHE:
+        return _CONTEXT_CACHE[key]
+    device = SimulatedDevice()
+    corpus = generate_collection(n, seed=seed)
+    tuner = AutoTuner(device=device, seed=seed)
+    tuner.fit(corpus)
+    paper_tuner = AutoTuner(
+        device=device, space=TuningSpace(include_single_bin=False), seed=seed
+    )
+    paper_tuner.fit(corpus)
+    ctx = BenchContext(
+        device=device,
+        tuner=tuner,
+        paper_tuner=paper_tuner,
+        corpus_seed=seed,
+        n_corpus=n,
+    )
+    _CONTEXT_CACHE[key] = ctx
+    return ctx
+
+
+def representative_suite(
+    *, scale: Optional[float] = None, seed: int = 0
+) -> Dict[str, CSRMatrix]:
+    """The 16 Table II matrices at the session scale, cached."""
+    s = bench_scale() if scale is None else float(scale)
+    key = (s, seed)
+    if key not in _SUITE_CACHE:
+        _SUITE_CACHE[key] = {
+            name: representative_matrix(name, scale=s, seed=seed)
+            for name in REPRESENTATIVE_NAMES
+        }
+    return _SUITE_CACHE[key]

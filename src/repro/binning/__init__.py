@@ -1,0 +1,44 @@
+"""Binning schemes: grouping rows into bins of similar workload.
+
+The paper's framework (§III-B) groups every ``U`` neighbouring rows into
+one "virtual" row and places virtual rows into up to 100 bins by their
+total workload (``binId = wl // U``); each non-empty bin is then
+processed by its own kernel.  This subpackage implements that scheme
+plus the alternatives discussed in the paper:
+
+- :class:`~repro.binning.coarse.CoarseBinning` -- the paper's scheme
+  (Algorithm 2) with configurable granularity ``U``.
+- :class:`~repro.binning.fine.FineBinning` -- per-row binning by length
+  class (Ashari et al. style; high overhead, the paper's motivation for
+  coarse granularity).
+- :class:`~repro.binning.hybrid.HybridBinning` -- fine for short rows,
+  coarse for long rows (Liu et al. style).
+- :class:`~repro.binning.single.SingleBinning` -- all rows in one bin
+  (the paper's §IV-C "grouping to single bin" discussion).
+- :class:`~repro.binning.adaptive_rows.RowBlockBinning` -- CSR-Adaptive's
+  inter-bin balanced row blocks (Greathouse & Daga), used by the
+  baseline.
+
+Every scheme returns a :class:`~repro.binning.base.BinningResult` and
+models its own device-side overhead (Algorithm 2 run on the GPU:
+workload collection + atomic bin insertion, including same-bin atomic
+contention -- the effect behind the paper's Figure 8).
+"""
+
+from repro.binning.adaptive_rows import RowBlockBinning
+from repro.binning.base import BinningResult, BinningScheme
+from repro.binning.coarse import DEFAULT_GRANULARITIES, CoarseBinning
+from repro.binning.fine import FineBinning
+from repro.binning.hybrid import HybridBinning
+from repro.binning.single import SingleBinning
+
+__all__ = [
+    "BinningResult",
+    "BinningScheme",
+    "CoarseBinning",
+    "DEFAULT_GRANULARITIES",
+    "FineBinning",
+    "HybridBinning",
+    "SingleBinning",
+    "RowBlockBinning",
+]

@@ -1,0 +1,84 @@
+"""CSR-Adaptive's inter-bin row blocking (Greathouse & Daga).
+
+The baseline the paper compares against in Figure 7.  Adjacent rows are
+greedily packed into *row blocks* of approximately equal workload: a
+block closes when adding the next row would exceed ``block_nnz``
+non-zeros.  A single row longer than ``block_nnz`` becomes its own
+block.  Each block is then processed by a kernel chosen from the block's
+shape (CSR-Stream for many short rows, CSR-Vector/VectorL for long
+rows) -- that selection lives in
+:mod:`repro.baselines.csr_adaptive`; this module provides the blocking
+itself, expressed in the same :class:`BinningResult` vocabulary so the
+executor can run it unchanged.
+
+The blocking pass on the device is a scan over row pointers (no
+atomics), so its overhead is the streaming cost of one ``rowptr`` pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.binning.base import (
+    BinningResult,
+    BinningScheme,
+    binning_pass_seconds,
+)
+from repro.device.spec import DeviceSpec
+from repro.errors import BinningError
+from repro.formats.csr import CSRMatrix
+
+__all__ = ["RowBlockBinning", "row_blocks"]
+
+
+def row_blocks(matrix: CSRMatrix, block_nnz: int) -> np.ndarray:
+    """Block boundaries (row indices, first 0, last nrows).
+
+    Greedy packing via repeated binary search on the row-pointer array:
+    each block ends at the last row keeping its nnz within ``block_nnz``
+    (at least one row per block so oversized rows become singletons).
+    """
+    if block_nnz <= 0:
+        raise BinningError(f"block_nnz must be > 0, got {block_nnz}")
+    m = matrix.nrows
+    bounds = [0]
+    rowptr = matrix.rowptr
+    while bounds[-1] < m:
+        start = bounds[-1]
+        limit = rowptr[start] + block_nnz
+        # Last row index whose cumulative nnz stays within the limit.
+        end = int(np.searchsorted(rowptr, limit, side="right")) - 1
+        end = max(end, start + 1)  # always make progress
+        end = min(end, m)
+        bounds.append(end)
+    return np.asarray(bounds, dtype=np.int64)
+
+
+class RowBlockBinning(BinningScheme):
+    """Inter-bin balanced row blocks (the CSR-Adaptive grouping)."""
+
+    def __init__(self, *, block_nnz: int = 1024):
+        if block_nnz <= 0:
+            raise BinningError(f"block_nnz must be > 0, got {block_nnz}")
+        self.block_nnz = int(block_nnz)
+        self.name = f"rowblocks(nnz={self.block_nnz})"
+
+    def bin_rows(self, matrix: CSRMatrix) -> BinningResult:
+        bounds = row_blocks(matrix, self.block_nnz)
+        bins = tuple(
+            np.arange(bounds[i], bounds[i + 1], dtype=np.int64)
+            for i in range(len(bounds) - 1)
+        )
+        labels = tuple(
+            f"rows[{bounds[i]},{bounds[i + 1]})" for i in range(len(bounds) - 1)
+        )
+        return BinningResult(self.name, bins, labels)
+
+    def overhead_seconds(self, matrix: CSRMatrix, spec: DeviceSpec) -> float:
+        """One scan over the row pointers (prefix-max style, no atomics)."""
+        m = matrix.nrows
+        if m == 0:
+            return 0.0
+        return binning_pass_seconds(
+            m, 0, spec, instr_per_item=4.0, bytes_per_item=8.0
+        )

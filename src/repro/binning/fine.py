@@ -1,0 +1,75 @@
+"""Fine-grained binning: every row binned individually by length class.
+
+The scheme of Ashari et al. (cited in the paper's related work): each
+row's index is stored in a bin keyed by its own non-zero count, with
+geometric (power-of-two) class boundaries so bins hold rows of similar
+length regardless of adjacency.  Finer kernel assignment than the
+coarse scheme -- but the bins gather *all* row indices, costing
+``O(nrows)`` space and a device pass over every row (the overhead the
+paper's coarse scheme avoids; see Figure 8).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.binning.base import BinningResult, BinningScheme, binning_pass_seconds
+from repro.device.spec import DeviceSpec
+from repro.errors import BinningError
+from repro.formats.csr import CSRMatrix
+
+__all__ = ["FineBinning", "geometric_boundaries"]
+
+
+def geometric_boundaries(max_bins: int) -> np.ndarray:
+    """Length-class boundaries ``[1, 2, 4, 8, ...]`` (``max_bins - 1`` of
+    them; lengths above the last boundary share the final bin)."""
+    if max_bins < 2:
+        raise BinningError(f"max_bins must be >= 2, got {max_bins}")
+    return 2 ** np.arange(max_bins - 1, dtype=np.int64)
+
+
+class FineBinning(BinningScheme):
+    """Per-row binning into geometric length classes."""
+
+    def __init__(self, *, max_bins: int = 16):
+        self.max_bins = int(max_bins)
+        self.boundaries = geometric_boundaries(self.max_bins)
+        self.name = f"fine(bins={self.max_bins})"
+
+    def bin_ids(self, matrix: CSRMatrix) -> np.ndarray:
+        """Length-class index of every row.
+
+        Class ``b`` holds rows with ``boundaries[b-1] < len <=
+        boundaries[b]`` (class 0: ``len <= 1``).
+        """
+        lengths = matrix.row_lengths()
+        return np.searchsorted(self.boundaries, lengths, side="left").astype(
+            np.int64
+        )
+
+    def bin_rows(self, matrix: CSRMatrix) -> BinningResult:
+        ids = self.bin_ids(matrix)
+        order = np.argsort(ids, kind="stable")
+        counts = np.bincount(ids, minlength=self.max_bins)
+        offsets = np.zeros(self.max_bins + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        bins = tuple(
+            order[offsets[b] : offsets[b + 1]].astype(np.int64)
+            for b in range(self.max_bins)
+        )
+        labels = []
+        lo = 0
+        for b in range(self.max_bins):
+            hi = self.boundaries[b] if b < len(self.boundaries) else None
+            labels.append(f"len({lo},{hi}]" if hi is not None else f"len>{lo}")
+            lo = hi if hi is not None else lo
+        return BinningResult(self.name, bins, tuple(labels))
+
+    def overhead_seconds(self, matrix: CSRMatrix, spec: DeviceSpec) -> float:
+        """One device pass over *every* row (not every virtual row)."""
+        m = matrix.nrows
+        if m == 0:
+            return 0.0
+        counts = np.bincount(self.bin_ids(matrix), minlength=1)
+        return binning_pass_seconds(m, int(counts.max()), spec)

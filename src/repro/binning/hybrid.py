@@ -1,0 +1,87 @@
+"""Hybrid binning: fine-grained for short rows, coarse for long rows.
+
+The scheme of Liu et al.'s SpGEMM work (paper's related work §V): short
+rows -- the overwhelming majority (Figure 5) -- are cheap to bin
+coarsely but benefit little from per-row precision, while long rows are
+few and benefit a lot.  This hybrid therefore bins rows *below* a length
+threshold through the coarse virtual-row scheme and every row *above*
+the threshold individually into geometric length classes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.binning.base import BinningResult, BinningScheme, binning_pass_seconds
+from repro.binning.coarse import CoarseBinning
+from repro.binning.fine import geometric_boundaries
+from repro.device.spec import DeviceSpec
+from repro.errors import BinningError
+from repro.formats.csr import CSRMatrix
+
+__all__ = ["HybridBinning"]
+
+
+class HybridBinning(BinningScheme):
+    """Coarse bins for short rows + per-row length classes for long rows."""
+
+    def __init__(
+        self,
+        *,
+        u: int = 100,
+        threshold: int = 64,
+        long_bins: int = 10,
+    ):
+        if threshold <= 0:
+            raise BinningError(f"threshold must be > 0, got {threshold}")
+        self.u = int(u)
+        self.threshold = int(threshold)
+        self.long_bins = int(long_bins)
+        self._coarse = CoarseBinning(u)
+        # Long-row classes start above the threshold.
+        bounds = geometric_boundaries(long_bins + 1)
+        self.long_boundaries = bounds[bounds > threshold]
+        self.name = f"hybrid(U={self.u},thr={self.threshold})"
+
+    def bin_rows(self, matrix: CSRMatrix) -> BinningResult:
+        lengths = matrix.row_lengths()
+        long_mask = lengths > self.threshold
+        long_rows = np.flatnonzero(long_mask).astype(np.int64)
+
+        # Short rows keep their coarse virtual-row binning; virtual rows
+        # containing any long row have those rows carved out.
+        coarse = self._coarse.bin_rows(matrix)
+        short_bins = [rows[~long_mask[rows]] for rows in coarse.bins]
+
+        # Long rows go to per-row geometric classes.
+        if len(long_rows):
+            classes = np.searchsorted(
+                self.long_boundaries, lengths[long_rows], side="left"
+            )
+        else:
+            classes = np.zeros(0, dtype=np.int64)
+        n_long_bins = len(self.long_boundaries) + 1
+        long_bin_list = [
+            long_rows[classes == c] for c in range(n_long_bins)
+        ]
+
+        bins = tuple(short_bins) + tuple(long_bin_list)
+        labels = coarse.labels + tuple(
+            f"long-class{c}" for c in range(n_long_bins)
+        )
+        return BinningResult(self.name, bins, labels)
+
+    def overhead_seconds(self, matrix: CSRMatrix, spec: DeviceSpec) -> float:
+        """Coarse pass over virtual rows + fine pass over the long rows."""
+        coarse_cost = self._coarse.overhead_seconds(matrix, spec)
+        lengths = matrix.row_lengths()
+        n_long = int(np.count_nonzero(lengths > self.threshold))
+        if n_long == 0:
+            return coarse_cost
+        classes = np.searchsorted(
+            self.long_boundaries,
+            lengths[lengths > self.threshold],
+            side="left",
+        )
+        max_same = int(np.bincount(classes, minlength=1).max())
+        return coarse_cost + binning_pass_seconds(n_long, max_same, spec)

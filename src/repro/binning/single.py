@@ -1,0 +1,34 @@
+"""Single-bin "binning": every row in one bin, one kernel for everything.
+
+The paper's §IV-C observes that for some matrices (very uniform short
+rows like europe_osm, or very uniform long rows like crankseg_2) the
+best strategy is *no* binning at all -- one kernel over all rows, paying
+zero binning overhead and a single launch.  The paper leaves automating
+this to future work; this library's extended tuner includes the
+single-bin strategy in its search space (see
+``repro.core.tuning_space``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.binning.base import BinningResult, BinningScheme
+from repro.device.spec import DeviceSpec
+from repro.formats.csr import CSRMatrix
+
+__all__ = ["SingleBinning"]
+
+
+class SingleBinning(BinningScheme):
+    """All rows in a single bin; zero binning overhead."""
+
+    name = "single"
+
+    def bin_rows(self, matrix: CSRMatrix) -> BinningResult:
+        rows = np.arange(matrix.nrows, dtype=np.int64)
+        return BinningResult(self.name, (rows,), ("all-rows",))
+
+    def overhead_seconds(self, matrix: CSRMatrix, spec: DeviceSpec) -> float:
+        """No workload collection, no insertion: free."""
+        return 0.0

@@ -1,0 +1,215 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four commands cover the deployment workflow:
+
+- ``train``  -- offline-train a tuner on a synthetic corpus (or point it
+  at a directory of Matrix Market files) and save it to JSON;
+- ``plan``   -- load a trained tuner and print the execution plan for a
+  matrix (``.mtx`` file or a synthetic ``family:nrows`` spec);
+- ``run``    -- plan + execute an SpMV, verify the result, and compare
+  the simulated time against the single-kernel and CSR-Adaptive
+  baselines;
+- ``info``   -- show the simulated device and the kernel pool.
+
+Examples
+--------
+::
+
+    python -m repro train --matrices 150 --out tuner.json
+    python -m repro plan --model tuner.json --matrix road_network:50000
+    python -m repro run  --model tuner.json --matrix my_matrix.mtx
+    python -m repro info
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+from repro.baselines.csr_adaptive import CSRAdaptiveSpMV
+from repro.baselines.single_kernel import SingleKernelSpMV
+from repro.core.framework import AutoTuner
+from repro.core.tuning_space import TuningSpace
+from repro.device.spec import DeviceSpec
+from repro.formats.csr import CSRMatrix
+from repro.formats.matrixmarket import read_matrix_market
+from repro.kernels.registry import DEFAULT_KERNEL_NAMES
+from repro.matrices import generators as gen
+from repro.matrices.collection import generate_collection
+
+__all__ = ["main", "build_parser", "load_matrix"]
+
+#: Synthetic families reachable from the CLI as ``family:nrows``.
+_CLI_FAMILIES = {
+    "road_network": lambda n, seed: gen.road_network(n, seed=seed),
+    "banded": lambda n, seed: gen.banded(n, seed=seed),
+    "power_law": lambda n, seed: gen.power_law_graph(n, seed=seed),
+    "cfd": lambda n, seed: gen.cfd_like(n, seed=seed),
+    "bimodal": lambda n, seed: gen.bimodal_rows(n, seed=seed),
+    "fem_constrained": lambda n, seed: gen.fem_constrained(n, seed=seed),
+    "quantum_chemistry": lambda n, seed: gen.quantum_chemistry_like(
+        n, seed=seed
+    ),
+}
+
+
+def load_matrix(spec: str, *, seed: int = 0) -> CSRMatrix:
+    """Resolve a CLI matrix argument.
+
+    Accepts a Matrix Market path (``*.mtx``) or a synthetic spec of the
+    form ``family:nrows`` (see the families above).
+    """
+    if spec.endswith(".mtx"):
+        return read_matrix_market(spec)
+    if ":" in spec:
+        family, _, size = spec.partition(":")
+        if family not in _CLI_FAMILIES:
+            raise SystemExit(
+                f"unknown family {family!r}; choose from "
+                f"{sorted(_CLI_FAMILIES)} or pass a .mtx file"
+            )
+        try:
+            n = int(size)
+        except ValueError:
+            raise SystemExit(f"bad size in matrix spec {spec!r}") from None
+        return _CLI_FAMILIES[family](n, seed)
+    raise SystemExit(
+        f"matrix spec {spec!r} is neither a .mtx path nor 'family:nrows'"
+    )
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+def _cmd_train(args: argparse.Namespace) -> int:
+    space = TuningSpace(include_single_bin=not args.no_single_bin)
+    tuner = AutoTuner(
+        space=space,
+        classifier=args.classifier,
+        extended_features=args.extended_features,
+        seed=args.seed,
+    )
+    if args.mtx_dir:
+        paths = sorted(Path(args.mtx_dir).glob("*.mtx"))
+        if not paths:
+            raise SystemExit(f"no .mtx files under {args.mtx_dir}")
+        corpus = [read_matrix_market(p) for p in paths]
+        print(f"training on {len(corpus)} Matrix Market files ...")
+    else:
+        corpus = generate_collection(args.matrices, seed=args.seed)
+        print(f"training on {args.matrices} synthetic matrices ...")
+    report = tuner.fit(corpus)
+    print(f"  stage-1 hold-out error: {report.stage1_error:.1%}")
+    print(f"  stage-2 hold-out error: {report.stage2_error:.1%}")
+    tuner.save(args.out)
+    print(f"saved tuner to {args.out}")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    tuner = AutoTuner.load(args.model)
+    matrix = load_matrix(args.matrix, seed=args.seed)
+    print(f"matrix: {matrix}")
+    plan = tuner.plan(matrix)
+    print(plan.describe())
+    if args.oracle:
+        oracle = tuner.oracle_plan(matrix)
+        print(
+            f"\noracle: {oracle.scheme.name} "
+            f"({oracle.predicted_seconds * 1e3:.3f} ms; prediction is "
+            f"{plan.predicted_seconds / oracle.predicted_seconds:.3f}x)"
+        )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    tuner = AutoTuner.load(args.model)
+    matrix = load_matrix(args.matrix, seed=args.seed)
+    print(f"matrix: {matrix}")
+    v = np.random.default_rng(args.seed).standard_normal(matrix.ncols)
+    result = tuner.run(matrix, v)
+    reference = matrix @ v
+    ok = np.allclose(result.u, reference, atol=1e-8)
+    print(f"result verified: {'OK' if ok else 'MISMATCH'}")
+    print(f"kernel-auto   : {result.seconds * 1e3:9.3f} ms "
+          f"({result.n_dispatches} launches)")
+    for name in ("serial", "vector"):
+        t = SingleKernelSpMV(name, tuner.device).time(matrix)
+        print(f"kernel-{name:7s}: {t * 1e3:9.3f} ms "
+              f"({t / result.seconds:.2f}x vs auto)")
+    t_ca = CSRAdaptiveSpMV(device=tuner.device).time(matrix)
+    print(f"csr-adaptive  : {t_ca * 1e3:9.3f} ms "
+          f"({t_ca / result.seconds:.2f}x vs auto)")
+    return 0 if ok else 1
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    spec = DeviceSpec.kaveri_apu()
+    print(f"simulated device: {spec.name}")
+    print(f"  compute units        : {spec.num_cus}")
+    print(f"  wavefront / workgroup: {spec.wavefront_size} / "
+          f"{spec.workgroup_size}")
+    print(f"  clock                : {spec.clock_hz / 1e6:.0f} MHz")
+    print(f"  DRAM bandwidth       : {spec.mem_bandwidth_bytes / 1e9:.1f} GB/s")
+    print(f"  LDS per CU           : {spec.lds_bytes_per_cu // 1024} KB")
+    print(f"kernel pool ({len(DEFAULT_KERNEL_NAMES)}): "
+          f"{', '.join(DEFAULT_KERNEL_NAMES)}")
+    print(f"synthetic families: {', '.join(sorted(_CLI_FAMILIES))}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Auto-tuned CSR SpMV (paper reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_train = sub.add_parser("train", help="train and save a tuner")
+    p_train.add_argument("--matrices", type=int, default=150,
+                         help="synthetic corpus size (default 150)")
+    p_train.add_argument("--mtx-dir", default=None,
+                         help="train on Matrix Market files in this dir")
+    p_train.add_argument("--out", required=True, help="output JSON path")
+    p_train.add_argument("--seed", type=int, default=0)
+    p_train.add_argument("--classifier", choices=("tree", "boosted"),
+                         default="boosted")
+    p_train.add_argument("--extended-features", action="store_true")
+    p_train.add_argument("--no-single-bin", action="store_true",
+                         help="strictly-paper tuning space")
+    p_train.set_defaults(func=_cmd_train)
+
+    p_plan = sub.add_parser("plan", help="print the plan for a matrix")
+    p_plan.add_argument("--model", required=True)
+    p_plan.add_argument("--matrix", required=True,
+                        help=".mtx path or family:nrows")
+    p_plan.add_argument("--seed", type=int, default=0)
+    p_plan.add_argument("--oracle", action="store_true",
+                        help="also run the exhaustive search")
+    p_plan.set_defaults(func=_cmd_plan)
+
+    p_run = sub.add_parser("run", help="plan + execute + compare baselines")
+    p_run.add_argument("--model", required=True)
+    p_run.add_argument("--matrix", required=True)
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_info = sub.add_parser("info", help="device + kernel pool summary")
+    p_info.set_defaults(func=_cmd_info)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""The auto-tuning framework: the paper's primary contribution.
+
+- :mod:`repro.core.tuning_space` -- the candidate pools: binning
+  granularities ``U`` (plus, as an extension, the single-bin strategy
+  the paper's §IV-C leaves to future work) and the nine kernels.
+- :mod:`repro.core.plan` -- :class:`ExecutionPlan`, a concrete
+  (binning scheme, per-bin kernel) assignment ready to launch.
+- :mod:`repro.core.training` -- the offline phase: exhaustive
+  measurement of every (scheme, bin, kernel) combination on the device
+  model, oracle plan construction, and the two-stage training datasets.
+- :mod:`repro.core.framework` -- :class:`AutoTuner`: fit on a matrix
+  corpus, then ``plan``/``run`` any new matrix by consulting the trained
+  two-stage classifier (Figure 3's predict path).
+"""
+
+from repro.core.framework import AutoTuner, TrainingReport
+from repro.core.plan import ExecutionPlan
+from repro.core.training import (
+    SchemeEvaluation,
+    build_datasets,
+    evaluate_matrix,
+    oracle_plan,
+)
+from repro.core.tuning_space import TuningSpace
+
+__all__ = [
+    "AutoTuner",
+    "TrainingReport",
+    "ExecutionPlan",
+    "TuningSpace",
+    "SchemeEvaluation",
+    "evaluate_matrix",
+    "oracle_plan",
+    "build_datasets",
+]

@@ -1,0 +1,202 @@
+"""Offline training: exhaustive measurement and dataset construction.
+
+The paper's off-line process (Figure 3, green arrows): run every
+candidate binning scheme, measure every kernel on every resulting bin,
+label the winners, and emit two training tables:
+
+- **stage 1** -- Table I features -> best binning scheme;
+- **stage 2** -- Table I features + ``U`` + ``binID`` -> best kernel for
+  that bin (trained across *all* candidate schemes so the classifier
+  generalises over ``U``).
+
+All measurement is honest: labels come exclusively from the device
+model's simulated times (never from rules about which kernel "should"
+win), mirroring how the paper's labels come from hardware timing runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.plan import ExecutionPlan
+from repro.core.tuning_space import TuningSpace
+from repro.device.executor import SimulatedDevice
+from repro.device.memory import effective_gather_locality
+from repro.errors import TrainingError
+from repro.features.extended import (
+    EXTENDED_FEATURE_NAMES,
+    extract_extended_features,
+)
+from repro.features.extract import FEATURE_NAMES, extract_features
+from repro.formats.csr import CSRMatrix
+from repro.kernels.registry import get_kernel
+from repro.matrices.collection import CollectionSpec
+from repro.ml.dataset import Dataset
+
+__all__ = [
+    "SchemeEvaluation",
+    "evaluate_matrix",
+    "oracle_plan",
+    "build_datasets",
+    "MatrixLike",
+]
+
+#: Training inputs may be bare matrices or lazy collection specs.
+MatrixLike = Union[CSRMatrix, CollectionSpec]
+
+
+@dataclass(frozen=True)
+class SchemeEvaluation:
+    """Measured outcome of one binning scheme on one matrix."""
+
+    scheme_index: int
+    scheme_label: str
+    #: ``bin_id -> (best kernel name, simulated seconds)`` per non-empty bin.
+    best_kernels: Dict[int, Tuple[str, float]]
+    #: Total simulated seconds: best kernels + launches + binning overhead.
+    total_seconds: float
+    binning_overhead: float
+    n_launches: int
+
+
+def _materialise(item: MatrixLike) -> CSRMatrix:
+    return item.build() if isinstance(item, CollectionSpec) else item
+
+
+def evaluate_matrix(
+    matrix: CSRMatrix,
+    device: SimulatedDevice,
+    space: TuningSpace,
+    *,
+    locality: Optional[float] = None,
+) -> List[SchemeEvaluation]:
+    """Measure every scheme (and every kernel per bin) on ``matrix``."""
+    spec = device.spec
+    g = (effective_gather_locality(matrix, spec) if locality is None
+        else float(locality))
+    lengths = matrix.row_lengths()
+    kernels = [get_kernel(n) for n in space.kernel_names]
+    launch_s = spec.seconds(spec.kernel_launch_cycles)
+    out: List[SchemeEvaluation] = []
+    for si, scheme in enumerate(space.schemes()):
+        binning = scheme.bin_rows(matrix)
+        overhead = scheme.overhead_seconds(matrix, spec)
+        best: Dict[int, Tuple[str, float]] = {}
+        total = overhead
+        launches = 0
+        for b, rows in binning.non_empty():
+            bin_lengths = lengths[rows]
+            best_name, best_t = None, np.inf
+            for kernel in kernels:
+                t = device.time_dispatch(
+                    kernel, bin_lengths, g, include_launch=False
+                )
+                if t < best_t:
+                    best_name, best_t = kernel.name, t
+            best[b] = (best_name, best_t)
+            total += best_t + launch_s
+            launches += 1
+        out.append(
+            SchemeEvaluation(
+                scheme_index=si,
+                scheme_label=space.scheme_labels[si],
+                best_kernels=best,
+                total_seconds=float(total),
+                binning_overhead=float(overhead),
+                n_launches=launches,
+            )
+        )
+    return out
+
+
+def oracle_plan(
+    matrix: CSRMatrix,
+    device: SimulatedDevice,
+    space: TuningSpace,
+    *,
+    locality: Optional[float] = None,
+) -> ExecutionPlan:
+    """The exhaustive-search optimum: best scheme, best kernel per bin.
+
+    This is the label-generating optimum of the offline phase and the
+    upper bound any predictor can reach.
+    """
+    evals = evaluate_matrix(matrix, device, space, locality=locality)
+    if not evals:
+        raise TrainingError("tuning space produced no evaluations")
+    best = min(evals, key=lambda e: e.total_seconds)
+    scheme = space.schemes()[best.scheme_index]
+    binning = scheme.bin_rows(matrix)
+    return ExecutionPlan(
+        scheme=scheme,
+        binning=binning,
+        bin_kernels={b: k for b, (k, _) in best.best_kernels.items()},
+        predicted_seconds=best.total_seconds,
+        source="oracle",
+    )
+
+
+def build_datasets(
+    corpus: Sequence[MatrixLike],
+    device: SimulatedDevice,
+    space: TuningSpace,
+    *,
+    extended_features: bool = False,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> Tuple[Dataset, Dataset]:
+    """Construct the two-stage training tables from a matrix corpus.
+
+    Returns ``(stage1, stage2)``:
+
+    - stage-1 rows: one per matrix; label = index of the best scheme.
+    - stage-2 rows: one per (scheme, non-empty bin) pair of every
+      matrix; features are the matrix vector + ``U`` + ``binID``; label
+      = index of the bin's best kernel under that scheme.
+    """
+    if len(corpus) == 0:
+        raise TrainingError("empty training corpus")
+    feat_names = (
+        EXTENDED_FEATURE_NAMES if extended_features else FEATURE_NAMES
+    )
+    extractor = (
+        extract_extended_features
+        if extended_features
+        else (lambda m: extract_features(m).to_vector())
+    )
+    kernel_index = {n: i for i, n in enumerate(space.kernel_names)}
+
+    X1: List[np.ndarray] = []
+    y1: List[int] = []
+    X2: List[np.ndarray] = []
+    y2: List[int] = []
+    for i, item in enumerate(corpus):
+        matrix = _materialise(item)
+        vec = extractor(matrix)
+        evals = evaluate_matrix(matrix, device, space)
+        best = min(evals, key=lambda e: e.total_seconds)
+        X1.append(vec)
+        y1.append(best.scheme_index)
+        for ev in evals:
+            u = space.scheme_u_value(ev.scheme_index)
+            for b, (kname, _) in ev.best_kernels.items():
+                X2.append(np.concatenate([vec, [u, b]]))
+                y2.append(kernel_index[kname])
+        if progress is not None:
+            progress(i + 1, len(corpus))
+
+    stage1 = Dataset(
+        np.vstack(X1),
+        np.asarray(y1),
+        feat_names,
+        space.scheme_labels,
+    )
+    stage2 = Dataset(
+        np.vstack(X2),
+        np.asarray(y2),
+        feat_names + ("U", "binID"),
+        space.kernel_names,
+    )
+    return stage1, stage2

@@ -1,0 +1,87 @@
+"""The tuning search space: candidate binning schemes and kernels.
+
+The paper's pools (§III-B): granularities ``U`` in {10, 20, 50, 100,
+..., 10^6} with up to 100 bins, and the nine kernels.  As an extension
+this library can also include the *single-bin* strategy in the space --
+the paper's §IV-C shows several matrices want exactly that and defers
+automating it to future work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.binning.base import BinningScheme
+from repro.binning.coarse import DEFAULT_GRANULARITIES, MAX_BINS, CoarseBinning
+from repro.binning.single import SingleBinning
+from repro.errors import TrainingError
+from repro.kernels.registry import DEFAULT_KERNEL_NAMES
+
+__all__ = ["TuningSpace"]
+
+
+@dataclass(frozen=True)
+class TuningSpace:
+    """Candidate binning schemes x candidate kernels."""
+
+    granularities: Tuple[int, ...] = DEFAULT_GRANULARITIES
+    kernel_names: Tuple[str, ...] = DEFAULT_KERNEL_NAMES
+    #: Extension beyond the paper: include the single-bin strategy as a
+    #: first-class scheme the classifier may select (§IV-C future work).
+    include_single_bin: bool = True
+    max_bins: int = MAX_BINS
+
+    def __post_init__(self) -> None:
+        if not self.granularities and not self.include_single_bin:
+            raise TrainingError("tuning space has no binning schemes")
+        if not self.kernel_names:
+            raise TrainingError("tuning space has no kernels")
+        if any(u <= 0 for u in self.granularities):
+            raise TrainingError("granularities must be positive")
+        if len(set(self.granularities)) != len(self.granularities):
+            raise TrainingError("duplicate granularities")
+
+    # ------------------------------------------------------------------
+    def schemes(self) -> List[BinningScheme]:
+        """Fresh scheme instances, one per stage-1 class, in label order."""
+        out: List[BinningScheme] = [
+            CoarseBinning(u, max_bins=self.max_bins) for u in self.granularities
+        ]
+        if self.include_single_bin:
+            out.append(SingleBinning())
+        return out
+
+    @property
+    def scheme_labels(self) -> Tuple[str, ...]:
+        """Stage-1 class names (``"U=10"``, ..., ``"single"``)."""
+        labels = tuple(f"U={u}" for u in self.granularities)
+        if self.include_single_bin:
+            labels += ("single",)
+        return labels
+
+    @property
+    def n_schemes(self) -> int:
+        """Stage-1 class count."""
+        return len(self.granularities) + (1 if self.include_single_bin else 0)
+
+    def scheme_u_value(self, scheme_index: int) -> int:
+        """Numeric ``U`` encoding for the stage-2 feature vector.
+
+        The single-bin strategy encodes as ``U = 0`` (no granularity).
+        """
+        if scheme_index < len(self.granularities):
+            return int(self.granularities[scheme_index])
+        if self.include_single_bin and scheme_index == len(self.granularities):
+            return 0
+        raise TrainingError(f"scheme index {scheme_index} out of range")
+
+    @property
+    def paper_default(self) -> "TuningSpace":
+        """The strictly-paper space (coarse granularities only)."""
+        return TuningSpace(
+            granularities=self.granularities,
+            kernel_names=self.kernel_names,
+            include_single_bin=False,
+            max_bins=self.max_bins,
+        )

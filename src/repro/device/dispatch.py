@@ -1,0 +1,137 @@
+"""Dispatch cost accounting: from per-kernel statistics to seconds.
+
+Every kernel's cost model reduces its launch over a bin to one
+:class:`DispatchStats` record -- total wavefront instructions, memory
+transactions, the longest dependent-iteration chain and the dispatch
+geometry.  :func:`dispatch_seconds` combines those into simulated time
+with a three-term roofline:
+
+``cycles = max(compute, bandwidth, latency) + scheduling overheads``
+
+- *compute*: total wavefront instructions over the device issue rate,
+  degraded when too few wavefronts exist to fill the machine, floored by
+  the longest single wavefront (one SIMD executes it at 1 instruction
+  per ``waves_per_workgroup`` cycles... more precisely per 4 cycles on
+  GCN).
+- *bandwidth*: cache-line transactions over DRAM bandwidth.
+- *latency*: the longest chain of dependent loads, divided by how many
+  resident wavefronts are available to hide it (the occupancy model).
+
+This is the standard analytical-GPU-model decomposition (roofline +
+latency extension); no term encodes anything SpMV-specific.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.device.occupancy import resident_waves
+from repro.device.spec import DeviceSpec
+from repro.errors import DeviceError
+
+__all__ = ["DispatchStats", "dispatch_seconds", "dispatch_cycles"]
+
+
+@dataclass(frozen=True)
+class DispatchStats:
+    """Aggregate execution statistics of one kernel launch over one bin."""
+
+    #: Total wavefront-instructions issued (divergence already included:
+    #: a wavefront runs as long as its slowest lane's row).
+    compute_instructions: float
+    #: Instructions of the single longest wavefront.
+    longest_wave_instructions: float
+    #: Longest chain of *dependent* memory-bearing iterations (for the
+    #: latency term; one dependent DRAM access per iteration).
+    longest_dependent_iterations: float
+    #: Total cache-line transactions to DRAM.
+    memory_lines: float
+    #: Wavefronts launched.
+    n_waves: float
+    #: Work-groups launched.
+    n_workgroups: float
+    #: LDS bytes reserved per work-group (occupancy input).
+    lds_bytes_per_wg: int = 0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "compute_instructions",
+            "longest_wave_instructions",
+            "longest_dependent_iterations",
+            "memory_lines",
+            "n_waves",
+            "n_workgroups",
+        ):
+            if getattr(self, name) < 0:
+                raise DeviceError(f"{name} must be >= 0")
+
+    @staticmethod
+    def empty() -> "DispatchStats":
+        """Stats of a dispatch over an empty bin (no launch at all)."""
+        return DispatchStats(0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+    def merge(self, other: "DispatchStats") -> "DispatchStats":
+        """Combine two dispatches launched back-to-back as one record.
+
+        Used by kernels that internally split work (e.g. CSR-Adaptive's
+        per-block kernel selection inside a single launch).
+        """
+        return DispatchStats(
+            self.compute_instructions + other.compute_instructions,
+            max(self.longest_wave_instructions, other.longest_wave_instructions),
+            max(
+                self.longest_dependent_iterations,
+                other.longest_dependent_iterations,
+            ),
+            self.memory_lines + other.memory_lines,
+            self.n_waves + other.n_waves,
+            self.n_workgroups + other.n_workgroups,
+            max(self.lds_bytes_per_wg, other.lds_bytes_per_wg),
+        )
+
+
+def dispatch_cycles(stats: DispatchStats, spec: DeviceSpec) -> float:
+    """Simulated GPU cycles for one kernel launch (excluding the fixed
+    kernel-launch overhead, which the executor adds once per launch)."""
+    if stats.n_waves <= 0:
+        return 0.0
+
+    # --- compute term -------------------------------------------------
+    # The device issues spec.issue_rate wavefront-instructions per cycle
+    # when enough waves exist to fill every SIMD; small dispatches only
+    # engage ceil(n_waves) SIMD slots.
+    simd_slots = spec.num_cus * spec.simd_per_cu
+    fill = min(1.0, stats.n_waves / simd_slots)
+    issue = spec.issue_rate * max(fill, 1.0 / simd_slots)
+    compute = stats.compute_instructions / issue
+    # One SIMD needs ~4 cycles per wavefront instruction (16 lanes x 4).
+    longest_wave_cycles = stats.longest_wave_instructions * 4.0
+    compute = max(compute, longest_wave_cycles)
+
+    # --- bandwidth term -------------------------------------------------
+    bandwidth = stats.memory_lines * spec.cacheline_bytes / spec.bytes_per_cycle
+
+    # --- latency term ---------------------------------------------------
+    hiding = resident_waves(spec, stats.n_waves, stats.lds_bytes_per_wg)
+    latency = (
+        stats.longest_dependent_iterations * spec.mem_latency_cycles / max(hiding, 1.0)
+    )
+
+    # --- imperfect overlap -----------------------------------------------
+    # A pure roofline (max of the terms) assumes the kernel keeps the
+    # memory system saturated while computing; divergent irregular
+    # kernels do not, so the non-dominant terms partially serialise.
+    primary = max(compute, bandwidth, latency)
+    secondary = compute + bandwidth + latency - primary
+    cycles = primary + spec.overlap_penalty * secondary
+
+    # --- scheduling overhead ---------------------------------------------
+    # Work-groups are distributed over CUs; each costs launch cycles on
+    # its CU, pipelined across the device.
+    cycles += stats.n_workgroups * spec.workgroup_launch_cycles / spec.num_cus
+    return float(cycles)
+
+
+def dispatch_seconds(stats: DispatchStats, spec: DeviceSpec) -> float:
+    """Simulated seconds for one kernel launch (no fixed launch cost)."""
+    return spec.seconds(dispatch_cycles(stats, spec))

@@ -1,0 +1,124 @@
+"""Device specification: the machine constants of the simulated APU.
+
+Defaults model the paper's AMD A10-7850K ("Kaveri") GPU side: 8 GCN
+compute units, each with 4 SIMD units of 16 processing elements
+(64-lane wavefronts), 720 MHz, 64 KB LDS per CU, sharing dual-channel
+DDR3 with the CPU.  All constants are plain dataclass fields so
+alternative devices (or sensitivity studies) are one constructor call
+away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DeviceError
+
+__all__ = ["DeviceSpec"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Constants describing one simulated throughput-oriented device."""
+
+    name: str = "AMD A10-7850K APU (simulated)"
+    #: Number of compute units (CUs).
+    num_cus: int = 8
+    #: SIMD units per CU (GCN: 4).
+    simd_per_cu: int = 4
+    #: Threads per wavefront (GCN: 64 = 4 cycles x 16 lanes).
+    wavefront_size: int = 64
+    #: OpenCL work-group size used by every kernel in the paper.
+    workgroup_size: int = 256
+    #: GPU clock in Hz (Kaveri GPU: 720 MHz).
+    clock_hz: float = 720e6
+    #: Achievable DRAM bandwidth in bytes/second (dual-channel DDR3-2133,
+    #: shared with the CPU; ~25 GB/s achievable of 34 GB/s peak).
+    mem_bandwidth_bytes: float = 25e9
+    #: Memory transaction (cache line) granularity in bytes.
+    cacheline_bytes: int = 64
+    #: Round-trip DRAM latency in GPU cycles.
+    mem_latency_cycles: float = 350.0
+    #: Local data share per CU in bytes.
+    lds_bytes_per_cu: int = 64 * 1024
+    #: Hardware cap on resident wavefronts per CU (GCN: 40).
+    max_waves_per_cu: int = 40
+    #: Hardware cap on resident work-groups per CU.
+    max_workgroups_per_cu: int = 16
+    #: Cycles to dispatch one kernel (SNACK/HSA enqueue + finalised-kernel
+    #: launch; ~11 us at 720 MHz).
+    kernel_launch_cycles: float = 8000.0
+    #: Cycles to schedule one work-group onto a CU (hardware dispatch
+    #: through the shader processor input, not a driver round-trip).
+    workgroup_launch_cycles: float = 60.0
+    #: Cycles for one global-memory atomic (used by device-side binning).
+    atomic_cycles: float = 12.0
+    #: First-level cache per CU, bounds the reuse window of strided
+    #: streams (see the serial kernel's coalescing waste model).
+    l1_bytes_per_cu: int = 16 * 1024
+    #: Shared L2 cache; bounds how much of the input vector stays
+    #: resident for the gather (Kaveri GPU: 512 KB).
+    l2_bytes: int = 512 * 1024
+    #: Imperfect compute/memory overlap.  A perfectly software-pipelined
+    #: kernel overlaps its ALU work, divergence stalls and latency behind
+    #: DRAM transfers (pure roofline, penalty 0); irregular SpMV kernels
+    #: do not -- divergence and dependent-load stalls leave the memory
+    #: system idle.  The non-dominant cost terms therefore leak into the
+    #: total with this weight: ``t = max(terms) + penalty * sum(rest)``.
+    overlap_penalty: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.num_cus <= 0 or self.simd_per_cu <= 0:
+            raise DeviceError("num_cus and simd_per_cu must be positive")
+        if self.wavefront_size <= 0 or self.wavefront_size & (self.wavefront_size - 1):
+            raise DeviceError(
+                f"wavefront_size must be a positive power of two, "
+                f"got {self.wavefront_size}"
+            )
+        if self.workgroup_size % self.wavefront_size != 0:
+            raise DeviceError(
+                f"workgroup_size {self.workgroup_size} must be a multiple of "
+                f"wavefront_size {self.wavefront_size}"
+            )
+        if self.clock_hz <= 0 or self.mem_bandwidth_bytes <= 0:
+            raise DeviceError("clock_hz and mem_bandwidth_bytes must be positive")
+
+    @property
+    def waves_per_workgroup(self) -> int:
+        """Wavefronts making up one work-group."""
+        return self.workgroup_size // self.wavefront_size
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        """Device-wide DRAM bytes deliverable per GPU cycle."""
+        return self.mem_bandwidth_bytes / self.clock_hz
+
+    @property
+    def issue_rate(self) -> float:
+        """Wavefront instructions the whole device can issue per cycle.
+
+        Each GCN CU issues one instruction per SIMD every 4 cycles; with 4
+        SIMDs that is 1 wavefront-instruction/cycle/CU.
+        """
+        return float(self.num_cus)
+
+    def seconds(self, cycles: float) -> float:
+        """Convert GPU cycles to seconds."""
+        return cycles / self.clock_hz
+
+    @classmethod
+    def kaveri_apu(cls) -> "DeviceSpec":
+        """The paper's evaluation platform (default constants)."""
+        return cls()
+
+    @classmethod
+    def small_test_device(cls) -> "DeviceSpec":
+        """A tiny 2-CU device for fast, deterministic unit tests."""
+        return cls(
+            name="test-device",
+            num_cus=2,
+            clock_hz=1e6,
+            mem_bandwidth_bytes=64e6,
+            kernel_launch_cycles=100.0,
+            workgroup_launch_cycles=10.0,
+        )

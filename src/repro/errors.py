@@ -1,0 +1,67 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` from misuse of NumPy, etc.)
+propagate unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "FormatError",
+    "ShapeError",
+    "DeviceError",
+    "KernelError",
+    "BinningError",
+    "TrainingError",
+    "NotFittedError",
+    "MatrixMarketError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class FormatError(ReproError):
+    """A sparse-matrix container was constructed from inconsistent arrays.
+
+    Raised, for example, when a CSR ``rowptr`` is not monotonically
+    non-decreasing, or when ``colidx`` contains indices outside
+    ``[0, ncols)``.
+    """
+
+
+class ShapeError(ReproError):
+    """Operand shapes are incompatible (e.g. SpMV with a wrong-length vector)."""
+
+
+class DeviceError(ReproError):
+    """A device specification or simulated dispatch is invalid.
+
+    Examples: a work-group size that is not a multiple of the wavefront
+    width, or a kernel requesting more local memory than a compute unit
+    provides.
+    """
+
+
+class KernelError(ReproError):
+    """A kernel was configured with invalid launch parameters."""
+
+
+class BinningError(ReproError):
+    """A binning scheme received invalid parameters (e.g. ``U <= 0``)."""
+
+
+class TrainingError(ReproError):
+    """Offline training failed (empty corpus, degenerate labels, ...)."""
+
+
+class NotFittedError(TrainingError):
+    """A model method requiring a fitted estimator was called before ``fit``."""
+
+
+class MatrixMarketError(FormatError):
+    """A Matrix Market file could not be parsed or written."""

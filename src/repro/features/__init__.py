@@ -1,0 +1,27 @@
+"""Sparse-matrix feature extraction for the machine-learning model.
+
+- :mod:`repro.features.extract` -- the paper's Table I parameter set
+  (``M, N, NNZ, Var_NNZ, Avg_NNZ, Min_NNZ, Max_NNZ``).
+- :mod:`repro.features.extended` -- the richer feature set the paper's
+  §IV-C proposes as future work: the row-length histogram plus
+  dispersion metrics that capture "the ratio and adjacency of the long,
+  medium, and short rows".
+"""
+
+from repro.features.extract import (
+    FEATURE_NAMES,
+    MatrixFeatures,
+    extract_features,
+)
+from repro.features.extended import (
+    EXTENDED_FEATURE_NAMES,
+    extract_extended_features,
+)
+
+__all__ = [
+    "MatrixFeatures",
+    "extract_features",
+    "FEATURE_NAMES",
+    "extract_extended_features",
+    "EXTENDED_FEATURE_NAMES",
+]

@@ -1,0 +1,48 @@
+"""Extended feature set (the paper's §IV-C future work).
+
+The paper notes its Table I parameters cannot capture "the ratio and
+adjacency of the long, medium, and short rows" and proposes histogram
+features.  This module implements that extension: the Table I vector
+plus the row-length histogram (as row fractions over the Figure 5
+buckets) and two dispersion metrics (coefficient of variation and Gini
+coefficient of the row lengths).  The ablation benchmark
+``benchmarks/bench_ablation_features.py`` measures what these buy the
+stage-2 classifier.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.features.extract import FEATURE_NAMES, extract_features
+from repro.formats.csr import CSRMatrix
+from repro.matrices.stats import RowStats
+
+__all__ = ["extract_extended_features", "EXTENDED_FEATURE_NAMES"]
+
+#: Histogram bucket upper bounds used for the extended features (a
+#: coarser grid than Figure 5's display buckets keeps the tree compact).
+_HIST_BOUNDS = (1, 4, 16, 64, 256)
+
+EXTENDED_FEATURE_NAMES: Tuple[str, ...] = FEATURE_NAMES + tuple(
+    f"Frac_le_{b}" for b in _HIST_BOUNDS
+) + ("Frac_gt_last", "CV_NNZ", "Gini_NNZ")
+
+
+def extract_extended_features(matrix: CSRMatrix) -> np.ndarray:
+    """Extended feature vector in :data:`EXTENDED_FEATURE_NAMES` order."""
+    base = extract_features(matrix).to_vector()
+    lengths = matrix.row_lengths()
+    m = max(matrix.nrows, 1)
+    fracs = []
+    lower = -np.inf
+    for b in _HIST_BOUNDS:
+        fracs.append(np.count_nonzero((lengths > lower) & (lengths <= b)) / m)
+        lower = b
+    fracs.append(np.count_nonzero(lengths > _HIST_BOUNDS[-1]) / m)
+    stats = RowStats.from_matrix(matrix)
+    return np.concatenate(
+        [base, np.asarray(fracs, dtype=np.float64), [stats.cv_nnz, stats.gini]]
+    )

@@ -1,0 +1,38 @@
+"""Sparse matrix storage formats.
+
+The paper targets the **CSR** format exclusively for its framework, but
+discusses COO, ELL, DIA and hybrid formats as the context that motivates
+CSR (no conversion overhead, general purpose).  This subpackage
+implements all of them from scratch:
+
+- :class:`~repro.formats.csr.CSRMatrix` -- the canonical container used
+  by every kernel, binning scheme and feature extractor.
+- :class:`~repro.formats.coo.COOMatrix` -- triplet format; the natural
+  construction/interchange format.
+- :class:`~repro.formats.ell.ELLMatrix` -- SIMD-friendly padded format.
+- :class:`~repro.formats.dia.DIAMatrix` -- diagonal format.
+- :class:`~repro.formats.hyb.HYBMatrix` -- ELL + COO hybrid (Bell &
+  Garland).
+- :mod:`~repro.formats.matrixmarket` -- Matrix Market file I/O so real
+  SuiteSparse matrices can be loaded when available.
+- :mod:`~repro.formats.convert` -- conversions between all of the above.
+"""
+
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from repro.formats.dia import DIAMatrix
+from repro.formats.ell import ELLMatrix
+from repro.formats.hyb import HYBMatrix
+from repro.formats.convert import convert
+from repro.formats.matrixmarket import read_matrix_market, write_matrix_market
+
+__all__ = [
+    "CSRMatrix",
+    "COOMatrix",
+    "ELLMatrix",
+    "DIAMatrix",
+    "HYBMatrix",
+    "convert",
+    "read_matrix_market",
+    "write_matrix_market",
+]

@@ -1,0 +1,80 @@
+"""Conversions between the sparse formats.
+
+The paper's §I motivation: "the transformation between different formats
+is non-negligible in terms of performance" -- so the framework sticks to
+CSR.  This module provides the conversions anyway (routed through CSR as
+the hub format) both for completeness and so the format-conversion
+overhead can itself be measured (see ``benchmarks/bench_cpu_parallel.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Type, Union
+
+from repro.errors import FormatError
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from repro.formats.dia import DIAMatrix
+from repro.formats.ell import ELLMatrix
+from repro.formats.hyb import HYBMatrix
+
+__all__ = ["convert", "AnyMatrix"]
+
+AnyMatrix = Union[CSRMatrix, COOMatrix, ELLMatrix, DIAMatrix, HYBMatrix]
+
+_FORMATS = {
+    "csr": CSRMatrix,
+    "coo": COOMatrix,
+    "ell": ELLMatrix,
+    "dia": DIAMatrix,
+    "hyb": HYBMatrix,
+}
+
+
+def _to_csr(matrix: AnyMatrix) -> CSRMatrix:
+    if isinstance(matrix, CSRMatrix):
+        return matrix
+    if isinstance(matrix, (COOMatrix, ELLMatrix, DIAMatrix, HYBMatrix)):
+        return matrix.to_csr()
+    raise FormatError(f"unsupported matrix type {type(matrix).__name__}")
+
+
+def convert(matrix: AnyMatrix, target: Union[str, Type[AnyMatrix]]) -> AnyMatrix:
+    """Convert ``matrix`` to the ``target`` format.
+
+    ``target`` may be a format name (``"csr"``, ``"coo"``, ``"ell"``,
+    ``"dia"``, ``"hyb"``) or one of the container classes.  All routes go
+    through CSR, mirroring how real libraries (and the paper's discussion
+    of conversion overhead) treat CSR as the canonical interchange format.
+
+    >>> from repro.formats import CSRMatrix
+    >>> m = CSRMatrix.identity(3)
+    >>> convert(m, "coo").nnz
+    3
+    """
+    if isinstance(target, str):
+        try:
+            target_cls = _FORMATS[target.lower()]
+        except KeyError:
+            raise FormatError(
+                f"unknown format {target!r}; expected one of {sorted(_FORMATS)}"
+            ) from None
+    else:
+        target_cls = target
+        if target_cls not in _FORMATS.values():
+            raise FormatError(f"unsupported target class {target_cls!r}")
+
+    if isinstance(matrix, target_cls):
+        return matrix
+    csr = _to_csr(matrix)
+    if target_cls is CSRMatrix:
+        return csr
+    if target_cls is COOMatrix:
+        return COOMatrix.from_csr(csr)
+    if target_cls is ELLMatrix:
+        return ELLMatrix.from_csr(csr)
+    if target_cls is DIAMatrix:
+        return DIAMatrix.from_csr(csr)
+    if target_cls is HYBMatrix:
+        return HYBMatrix.from_csr(csr)
+    raise FormatError(f"unsupported target class {target_cls!r}")  # pragma: no cover

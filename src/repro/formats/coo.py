@@ -1,0 +1,86 @@
+"""Coordinate (COO / triplet) sparse format.
+
+COO stores one ``(row, col, val)`` triplet per non-zero.  It is the
+interchange format used by Matrix Market files and the natural target of
+incremental construction; the paper cites it (Bell & Garland) as the
+format whose performance is invariant to the non-zero distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import FormatError, ShapeError
+from repro.formats.csr import CSRMatrix, INDEX_DTYPE, VALUE_DTYPE
+
+__all__ = ["COOMatrix"]
+
+
+@dataclass(frozen=True)
+class COOMatrix:
+    """A sparse matrix as parallel triplet arrays.
+
+    Entries may appear in any order and duplicates are permitted; use
+    :meth:`to_csr` (which sums duplicates) to canonicalise.
+    """
+
+    rows: np.ndarray
+    cols: np.ndarray
+    vals: np.ndarray
+    shape: Tuple[int, int]
+
+    def __post_init__(self) -> None:
+        rows = np.ascontiguousarray(self.rows, dtype=INDEX_DTYPE)
+        cols = np.ascontiguousarray(self.cols, dtype=INDEX_DTYPE)
+        vals = np.ascontiguousarray(self.vals, dtype=VALUE_DTYPE)
+        object.__setattr__(self, "rows", rows)
+        object.__setattr__(self, "cols", cols)
+        object.__setattr__(self, "vals", vals)
+        object.__setattr__(self, "shape", (int(self.shape[0]), int(self.shape[1])))
+        if not (len(rows) == len(cols) == len(vals)):
+            raise FormatError(
+                f"triplet arrays differ in length: {len(rows)}, {len(cols)}, {len(vals)}"
+            )
+        m, n = self.shape
+        if len(rows):
+            if rows.min() < 0 or rows.max() >= m:
+                raise FormatError(f"row indices out of range for shape {self.shape}")
+            if cols.min() < 0 or cols.max() >= n:
+                raise FormatError(f"col indices out of range for shape {self.shape}")
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored triplets (duplicates counted individually)."""
+        return int(len(self.vals))
+
+    def to_csr(self, *, sum_duplicates: bool = True) -> CSRMatrix:
+        """Convert to :class:`CSRMatrix`, summing duplicates by default."""
+        return CSRMatrix.from_coo_arrays(
+            self.rows, self.cols, self.vals, self.shape, sum_duplicates=sum_duplicates
+        )
+
+    @classmethod
+    def from_csr(cls, csr: CSRMatrix) -> "COOMatrix":
+        """Expand a CSR matrix into triplets (row-major order preserved)."""
+        rows = np.repeat(
+            np.arange(csr.nrows, dtype=INDEX_DTYPE), csr.row_lengths()
+        )
+        return cls(rows, csr.colidx.copy(), csr.val.copy(), csr.shape)
+
+    def matvec(self, v: np.ndarray) -> np.ndarray:
+        """COO SpMV: scatter-add of ``vals * v[cols]`` into the output."""
+        v = np.asarray(v, dtype=VALUE_DTYPE)
+        if v.shape != (self.shape[1],):
+            raise ShapeError(f"vector has shape {v.shape}, expected ({self.shape[1]},)")
+        out = np.zeros(self.shape[0], dtype=VALUE_DTYPE)
+        np.add.at(out, self.rows, self.vals * v[self.cols])
+        return out
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise as a dense array (duplicates accumulate)."""
+        out = np.zeros(self.shape, dtype=VALUE_DTYPE)
+        np.add.at(out, (self.rows, self.cols), self.vals)
+        return out

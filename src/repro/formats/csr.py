@@ -1,0 +1,384 @@
+"""Compressed Sparse Row (CSR) matrix container.
+
+This is the canonical storage format of the whole library, matching the
+paper's Figure 1: three arrays ``rowptr`` (row offsets, length ``m+1``),
+``colidx`` (column indices in row-major order) and ``val`` (the non-zero
+values).  Everything downstream -- binning, kernels, feature extraction,
+the auto-tuner -- consumes this class.
+
+The container is immutable by convention (arrays are stored with
+``writeable=False`` views are *not* enforced to avoid copies, but no
+library code mutates them) and validates its invariants on construction
+so that corrupt structures fail fast rather than deep inside a kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from repro.errors import FormatError, ShapeError
+from repro.utils.primitives import exclusive_scan
+
+__all__ = ["CSRMatrix"]
+
+INDEX_DTYPE = np.int64
+VALUE_DTYPE = np.float64
+
+
+@dataclass(frozen=True)
+class CSRMatrix:
+    """A sparse matrix in CSR form.
+
+    Parameters
+    ----------
+    rowptr:
+        ``int64`` array of length ``nrows + 1``; ``rowptr[i]`` is the
+        offset of row ``i``'s first non-zero in ``colidx`` / ``val``.
+    colidx:
+        ``int64`` array of column indices, row-major order.
+    val:
+        ``float64`` array of the corresponding non-zero values.
+    shape:
+        ``(nrows, ncols)``.
+
+    Raises
+    ------
+    FormatError
+        If the arrays violate any CSR invariant (non-monotone ``rowptr``,
+        out-of-range column indices, mismatched lengths, ...).
+    """
+
+    rowptr: np.ndarray
+    colidx: np.ndarray
+    val: np.ndarray
+    shape: Tuple[int, int]
+
+    def __post_init__(self) -> None:
+        rowptr = np.ascontiguousarray(self.rowptr, dtype=INDEX_DTYPE)
+        colidx = np.ascontiguousarray(self.colidx, dtype=INDEX_DTYPE)
+        val = np.ascontiguousarray(self.val, dtype=VALUE_DTYPE)
+        object.__setattr__(self, "rowptr", rowptr)
+        object.__setattr__(self, "colidx", colidx)
+        object.__setattr__(self, "val", val)
+        object.__setattr__(self, "shape", (int(self.shape[0]), int(self.shape[1])))
+
+        m, n = self.shape
+        if m < 0 or n < 0:
+            raise FormatError(f"shape must be non-negative, got {self.shape}")
+        if rowptr.ndim != 1 or colidx.ndim != 1 or val.ndim != 1:
+            raise FormatError("rowptr, colidx and val must all be 1-D arrays")
+        if len(rowptr) != m + 1:
+            raise FormatError(
+                f"rowptr has length {len(rowptr)}, expected nrows+1 = {m + 1}"
+            )
+        if len(colidx) != len(val):
+            raise FormatError(
+                f"colidx (len {len(colidx)}) and val (len {len(val)}) differ"
+            )
+        if len(rowptr) > 0:
+            if rowptr[0] != 0:
+                raise FormatError(f"rowptr[0] must be 0, got {rowptr[0]}")
+            if rowptr[-1] != len(val):
+                raise FormatError(
+                    f"rowptr[-1] = {rowptr[-1]} but nnz = {len(val)}"
+                )
+            if m > 0 and np.any(np.diff(rowptr) < 0):
+                raise FormatError("rowptr must be monotonically non-decreasing")
+        if len(colidx) > 0:
+            cmin, cmax = colidx.min(), colidx.max()
+            if cmin < 0 or cmax >= n:
+                raise FormatError(
+                    f"column indices must lie in [0, {n}), got range [{cmin}, {cmax}]"
+                )
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def nrows(self) -> int:
+        """Number of rows (``M`` in the paper's Table I)."""
+        return self.shape[0]
+
+    @property
+    def ncols(self) -> int:
+        """Number of columns (``N`` in the paper's Table I)."""
+        return self.shape[1]
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored non-zeros (``NNZ`` in the paper's Table I)."""
+        return int(len(self.val))
+
+    def row_lengths(self) -> np.ndarray:
+        """Per-row non-zero counts -- the *workloads* driving all binning."""
+        return np.diff(self.rowptr)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CSRMatrix(shape={self.shape}, nnz={self.nnz}, "
+            f"avg_nnz_row={self.nnz / max(self.nrows, 1):.2f})"
+        )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSRMatrix":
+        """Build a CSR matrix from a dense 2-D array, dropping zeros."""
+        dense = np.asarray(dense, dtype=VALUE_DTYPE)
+        if dense.ndim != 2:
+            raise FormatError(f"dense input must be 2-D, got ndim={dense.ndim}")
+        rows, cols = np.nonzero(dense)
+        counts = np.bincount(rows, minlength=dense.shape[0]).astype(INDEX_DTYPE)
+        rowptr = exclusive_scan(counts)
+        return cls(rowptr, cols.astype(INDEX_DTYPE), dense[rows, cols], dense.shape)
+
+    @classmethod
+    def from_coo_arrays(
+        cls,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        vals: np.ndarray,
+        shape: Tuple[int, int],
+        *,
+        sum_duplicates: bool = True,
+    ) -> "CSRMatrix":
+        """Build a CSR matrix from triplet (COO) arrays.
+
+        Entries are sorted into row-major order; duplicate ``(row, col)``
+        entries are summed when ``sum_duplicates`` is true (the Matrix
+        Market convention), otherwise kept as repeated entries.
+        Explicit zeros produced by duplicate cancellation are retained,
+        matching the usual CSR construction semantics.
+        """
+        rows = np.asarray(rows, dtype=INDEX_DTYPE)
+        cols = np.asarray(cols, dtype=INDEX_DTYPE)
+        vals = np.asarray(vals, dtype=VALUE_DTYPE)
+        if not (len(rows) == len(cols) == len(vals)):
+            raise FormatError(
+                f"triplet arrays differ in length: {len(rows)}, {len(cols)}, {len(vals)}"
+            )
+        m, n = int(shape[0]), int(shape[1])
+        if len(rows) and (rows.min() < 0 or rows.max() >= m):
+            raise FormatError(f"row indices out of range for shape {shape}")
+        if len(cols) and (cols.min() < 0 or cols.max() >= n):
+            raise FormatError(f"column indices out of range for shape {shape}")
+
+        order = np.lexsort((cols, rows))
+        rows, cols, vals = rows[order], cols[order], vals[order]
+        if sum_duplicates and len(rows):
+            keep = np.empty(len(rows), dtype=bool)
+            keep[0] = True
+            keep[1:] = (np.diff(rows) != 0) | (np.diff(cols) != 0)
+            group = np.cumsum(keep) - 1
+            summed = np.zeros(int(group[-1]) + 1, dtype=VALUE_DTYPE)
+            np.add.at(summed, group, vals)
+            rows, cols, vals = rows[keep], cols[keep], summed
+
+        counts = np.bincount(rows, minlength=m).astype(INDEX_DTYPE)
+        rowptr = exclusive_scan(counts)
+        return cls(rowptr, cols, vals, (m, n))
+
+    @classmethod
+    def from_row_lengths(
+        cls,
+        lengths: np.ndarray,
+        ncols: int,
+        *,
+        rng: np.random.Generator,
+    ) -> "CSRMatrix":
+        """Build a random matrix with the prescribed per-row nnz counts.
+
+        Column indices are drawn uniformly without replacement per row
+        (vectorised via argsort of random keys); values are standard
+        normal.  This is the workhorse of the synthetic corpus generators
+        because the whole framework's behaviour depends only on the
+        row-length distribution and coordinates.
+        """
+        lengths = np.asarray(lengths, dtype=INDEX_DTYPE)
+        if lengths.ndim != 1:
+            raise FormatError("lengths must be 1-D")
+        if np.any(lengths < 0):
+            raise FormatError("row lengths must be non-negative")
+        if np.any(lengths > ncols):
+            raise FormatError("a row length exceeds ncols")
+        m = len(lengths)
+        rowptr = exclusive_scan(lengths)
+        nnz = int(rowptr[-1])
+        # Vectorised distinct-column sampling: to draw L strictly
+        # increasing columns from [0, ncols), draw L values from
+        # [0, ncols - L] *with* repetition, sort them within the row, and
+        # add arange(L).  The within-row sort is done with one global
+        # argsort on the key (row_id * ncols + value).
+        if nnz:
+            row_of = np.repeat(np.arange(m, dtype=INDEX_DTYPE), lengths)
+            span = (ncols - lengths)[row_of] + 1  # size of [0, ncols-L]
+            draws = (rng.random(nnz) * span).astype(INDEX_DTYPE)
+            order = np.argsort(row_of * np.int64(ncols + 1) + draws, kind="stable")
+            draws = draws[order]
+            within = np.arange(nnz, dtype=INDEX_DTYPE) - np.repeat(
+                rowptr[:-1], lengths
+            )
+            colidx = draws + within
+        else:
+            colidx = np.zeros(0, dtype=INDEX_DTYPE)
+        val = rng.standard_normal(nnz)
+        return cls(rowptr, colidx, val, (m, ncols))
+
+    @classmethod
+    def identity(cls, n: int) -> "CSRMatrix":
+        """The ``n x n`` identity matrix."""
+        idx = np.arange(n, dtype=INDEX_DTYPE)
+        return cls(
+            np.arange(n + 1, dtype=INDEX_DTYPE),
+            idx,
+            np.ones(n, dtype=VALUE_DTYPE),
+            (n, n),
+        )
+
+    @classmethod
+    def empty(cls, shape: Tuple[int, int]) -> "CSRMatrix":
+        """An all-zero matrix of the given shape."""
+        m, n = shape
+        return cls(
+            np.zeros(m + 1, dtype=INDEX_DTYPE),
+            np.zeros(0, dtype=INDEX_DTYPE),
+            np.zeros(0, dtype=VALUE_DTYPE),
+            (m, n),
+        )
+
+    # ------------------------------------------------------------------
+    # Interop
+    # ------------------------------------------------------------------
+    def to_dense(self) -> np.ndarray:
+        """Materialise as a dense ``float64`` array (small matrices only)."""
+        out = np.zeros(self.shape, dtype=VALUE_DTYPE)
+        rows = np.repeat(np.arange(self.nrows), self.row_lengths())
+        # Duplicates within a row are accumulated.
+        np.add.at(out, (rows, self.colidx), self.val)
+        return out
+
+    def to_scipy(self):
+        """Convert to :class:`scipy.sparse.csr_matrix` (for cross-checks)."""
+        import scipy.sparse as sp
+
+        return sp.csr_matrix(
+            (self.val.copy(), self.colidx.copy(), self.rowptr.copy()), shape=self.shape
+        )
+
+    @classmethod
+    def from_scipy(cls, mat) -> "CSRMatrix":
+        """Build from any scipy sparse matrix (converted to CSR)."""
+        csr = mat.tocsr()
+        return cls(
+            csr.indptr.astype(INDEX_DTYPE),
+            csr.indices.astype(INDEX_DTYPE),
+            csr.data.astype(VALUE_DTYPE),
+            csr.shape,
+        )
+
+    # ------------------------------------------------------------------
+    # Reference SpMV (Algorithm 1)
+    # ------------------------------------------------------------------
+    def matvec_reference(self, v: np.ndarray) -> np.ndarray:
+        """Sequential reference SpMV (the paper's Algorithm 1), vectorised.
+
+        Every kernel's ``compute`` is validated against this method.
+        """
+        v = np.asarray(v, dtype=VALUE_DTYPE)
+        if v.shape != (self.ncols,):
+            raise ShapeError(
+                f"vector has shape {v.shape}, expected ({self.ncols},)"
+            )
+        products = self.val * v[self.colidx]
+        out = np.zeros(self.nrows, dtype=VALUE_DTYPE)
+        rows = np.repeat(np.arange(self.nrows), self.row_lengths())
+        np.add.at(out, rows, products)
+        return out
+
+    def matmat_reference(self, dense: np.ndarray) -> np.ndarray:
+        """Reference SpMM: ``A @ B`` for a dense ``(ncols, k)`` operand.
+
+        The multi-vector generalisation the paper's conclusion points to
+        (SpMM shares SpMV's row-wise structure; the same binning/kernel
+        strategies apply per column block).
+        """
+        dense = np.asarray(dense, dtype=VALUE_DTYPE)
+        if dense.ndim != 2 or dense.shape[0] != self.ncols:
+            raise ShapeError(
+                f"operand has shape {dense.shape}, expected ({self.ncols}, k)"
+            )
+        gathered = self.val[:, None] * dense[self.colidx]
+        out = np.zeros((self.nrows, dense.shape[1]), dtype=VALUE_DTYPE)
+        rows = np.repeat(np.arange(self.nrows), self.row_lengths())
+        np.add.at(out, rows, gathered)
+        return out
+
+    def __matmul__(self, other: np.ndarray) -> np.ndarray:
+        other = np.asarray(other)
+        if other.ndim == 2:
+            return self.matmat_reference(other)
+        return self.matvec_reference(other)
+
+    # ------------------------------------------------------------------
+    # Structural operations
+    # ------------------------------------------------------------------
+    def select_rows(self, row_indices: np.ndarray) -> "CSRMatrix":
+        """Extract the sub-matrix consisting of the given rows, in order."""
+        row_indices = np.asarray(row_indices, dtype=INDEX_DTYPE)
+        if len(row_indices) and (
+            row_indices.min() < 0 or row_indices.max() >= self.nrows
+        ):
+            raise ShapeError("row index out of range")
+        lengths = self.row_lengths()[row_indices]
+        new_rowptr = exclusive_scan(lengths)
+        nnz = int(new_rowptr[-1])
+        colidx = np.empty(nnz, dtype=INDEX_DTYPE)
+        val = np.empty(nnz, dtype=VALUE_DTYPE)
+        starts = self.rowptr[row_indices]
+        # Gather: build a flat source index per destination element.
+        if nnz:
+            dst_row = np.repeat(np.arange(len(row_indices)), lengths)
+            within = np.arange(nnz) - np.repeat(new_rowptr[:-1], lengths)
+            src = np.repeat(starts, lengths) + within
+            colidx[:] = self.colidx[src]
+            val[:] = self.val[src]
+        return CSRMatrix(new_rowptr, colidx, val, (len(row_indices), self.ncols))
+
+    def transpose(self) -> "CSRMatrix":
+        """Return the transpose (computed via a COO round-trip)."""
+        rows = np.repeat(np.arange(self.nrows, dtype=INDEX_DTYPE), self.row_lengths())
+        return CSRMatrix.from_coo_arrays(
+            self.colidx, rows, self.val, (self.ncols, self.nrows), sum_duplicates=False
+        )
+
+    def has_sorted_columns(self) -> bool:
+        """True if column indices are strictly increasing within every row."""
+        if self.nnz < 2:
+            return True
+        diffs = np.diff(self.colidx)
+        row_start_positions = self.rowptr[1:-1]
+        mask = np.ones(self.nnz - 1, dtype=bool)
+        mask[row_start_positions[row_start_positions < self.nnz] - 1] = False
+        # Only interior diffs (within a row) must be increasing.
+        interior = np.ones(self.nnz - 1, dtype=bool)
+        boundary = row_start_positions - 1
+        boundary = boundary[(boundary >= 0) & (boundary < self.nnz - 1)]
+        interior[boundary] = False
+        return bool(np.all(diffs[interior] > 0))
+
+    def equals(self, other: "CSRMatrix", *, tol: float = 0.0) -> bool:
+        """Structural + numerical equality (entries compared after densify
+        for small matrices would be wasteful; compares canonical arrays)."""
+        if self.shape != other.shape:
+            return False
+        if not np.array_equal(self.rowptr, other.rowptr):
+            return False
+        if not np.array_equal(self.colidx, other.colidx):
+            return False
+        if tol == 0.0:
+            return bool(np.array_equal(self.val, other.val))
+        return bool(np.allclose(self.val, other.val, atol=tol, rtol=tol))

@@ -1,0 +1,123 @@
+"""Diagonal (DIA) sparse format.
+
+DIA stores the matrix as a set of (possibly offset) diagonals -- the
+right format when non-zeros concentrate along a few diagonals, e.g. the
+finite-difference matrices the paper's related work mentions (Bell &
+Garland show DIA is the right format for diagonal sparsity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import FormatError, ShapeError
+from repro.formats.csr import CSRMatrix, INDEX_DTYPE, VALUE_DTYPE
+
+__all__ = ["DIAMatrix"]
+
+
+@dataclass(frozen=True)
+class DIAMatrix:
+    """A sparse matrix stored by diagonals.
+
+    ``offsets`` is a 1-D array of diagonal offsets (``0`` = main, positive
+    = super-diagonal, negative = sub-diagonal) and ``data`` is
+    ``(ndiags, nrows)``: ``data[d, i]`` holds entry ``(i, i + offsets[d])``
+    where that coordinate is inside the matrix, else an ignored slot.
+    """
+
+    offsets: np.ndarray
+    data: np.ndarray
+    shape: Tuple[int, int]
+
+    def __post_init__(self) -> None:
+        offsets = np.ascontiguousarray(self.offsets, dtype=INDEX_DTYPE)
+        data = np.ascontiguousarray(self.data, dtype=VALUE_DTYPE)
+        object.__setattr__(self, "offsets", offsets)
+        object.__setattr__(self, "data", data)
+        object.__setattr__(self, "shape", (int(self.shape[0]), int(self.shape[1])))
+        if offsets.ndim != 1:
+            raise FormatError("offsets must be 1-D")
+        if len(np.unique(offsets)) != len(offsets):
+            raise FormatError("duplicate diagonal offsets")
+        if data.ndim != 2 or data.shape != (len(offsets), self.shape[0]):
+            raise FormatError(
+                f"data must have shape (ndiags, nrows) = "
+                f"({len(offsets)}, {self.shape[0]}), got {data.shape}"
+            )
+
+    @property
+    def ndiags(self) -> int:
+        """Number of stored diagonals."""
+        return int(len(self.offsets))
+
+    @property
+    def nnz(self) -> int:
+        """Number of in-bounds stored entries (zeros on diagonals count)."""
+        m, n = self.shape
+        rows = np.arange(m)
+        count = 0
+        for off in self.offsets:
+            cols = rows + int(off)
+            count += int(np.count_nonzero((cols >= 0) & (cols < n)))
+        return count
+
+    @classmethod
+    def from_csr(cls, csr: CSRMatrix, *, max_diags: int | None = None) -> "DIAMatrix":
+        """Convert from CSR; raises if the matrix has too many diagonals.
+
+        ``max_diags`` guards against accidentally converting an
+        unstructured matrix, whose DIA form would be enormous.
+        """
+        rows = np.repeat(np.arange(csr.nrows, dtype=INDEX_DTYPE), csr.row_lengths())
+        diags = csr.colidx - rows
+        offsets = np.unique(diags)
+        if max_diags is not None and len(offsets) > max_diags:
+            raise FormatError(
+                f"matrix has {len(offsets)} diagonals, exceeding max_diags={max_diags}"
+            )
+        data = np.zeros((len(offsets), csr.nrows), dtype=VALUE_DTYPE)
+        diag_pos = np.searchsorted(offsets, diags)
+        data[diag_pos, rows] = csr.val
+        return cls(offsets, data, csr.shape)
+
+    def to_csr(self) -> CSRMatrix:
+        """Convert to CSR, dropping out-of-bounds slots and explicit zeros."""
+        m, n = self.shape
+        rows_list, cols_list, vals_list = [], [], []
+        rows = np.arange(m, dtype=INDEX_DTYPE)
+        for d, off in enumerate(self.offsets):
+            cols = rows + int(off)
+            ok = (cols >= 0) & (cols < n) & (self.data[d] != 0.0)
+            rows_list.append(rows[ok])
+            cols_list.append(cols[ok])
+            vals_list.append(self.data[d][ok])
+        if rows_list:
+            r = np.concatenate(rows_list)
+            c = np.concatenate(cols_list)
+            v = np.concatenate(vals_list)
+        else:  # pragma: no cover - zero-diagonal matrix
+            r = c = np.zeros(0, dtype=INDEX_DTYPE)
+            v = np.zeros(0, dtype=VALUE_DTYPE)
+        return CSRMatrix.from_coo_arrays(r, c, v, self.shape, sum_duplicates=False)
+
+    def matvec(self, v: np.ndarray) -> np.ndarray:
+        """DIA SpMV: one shifted AXPY per diagonal."""
+        v = np.asarray(v, dtype=VALUE_DTYPE)
+        m, n = self.shape
+        if v.shape != (n,):
+            raise ShapeError(f"vector has shape {v.shape}, expected ({n},)")
+        out = np.zeros(m, dtype=VALUE_DTYPE)
+        rows = np.arange(m)
+        for d, off in enumerate(self.offsets):
+            cols = rows + int(off)
+            ok = (cols >= 0) & (cols < n)
+            out[ok] += self.data[d][ok] * v[cols[ok]]
+        return out
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise as a dense array."""
+        return self.to_csr().to_dense()

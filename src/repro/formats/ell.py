@@ -1,0 +1,125 @@
+"""ELLPACK (ELL) sparse format.
+
+ELL pads every row to the same width ``K`` (the maximum row length) and
+stores the matrix as two dense ``(nrows, K)`` arrays, which makes the
+access pattern SIMD-friendly -- the reason the paper's related work
+(Bell & Garland, ELLR-T) favours it on wide-vector machines.  The cost is
+``O(nrows * max_row_len)`` storage, catastrophic for matrices with a few
+very long rows; :class:`~repro.formats.hyb.HYBMatrix` exists to fix that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import FormatError, ShapeError
+from repro.formats.csr import CSRMatrix, INDEX_DTYPE, VALUE_DTYPE
+
+__all__ = ["ELLMatrix"]
+
+#: Column index stored in padding slots.
+PAD_COL = -1
+
+
+@dataclass(frozen=True)
+class ELLMatrix:
+    """A sparse matrix in ELLPACK layout.
+
+    ``indices`` and ``data`` are ``(nrows, width)``; padding slots hold
+    :data:`PAD_COL` in ``indices`` and ``0.0`` in ``data``.
+    """
+
+    indices: np.ndarray
+    data: np.ndarray
+    shape: Tuple[int, int]
+
+    def __post_init__(self) -> None:
+        indices = np.ascontiguousarray(self.indices, dtype=INDEX_DTYPE)
+        data = np.ascontiguousarray(self.data, dtype=VALUE_DTYPE)
+        object.__setattr__(self, "indices", indices)
+        object.__setattr__(self, "data", data)
+        object.__setattr__(self, "shape", (int(self.shape[0]), int(self.shape[1])))
+        if indices.ndim != 2 or data.ndim != 2:
+            raise FormatError("indices and data must be 2-D")
+        if indices.shape != data.shape:
+            raise FormatError(
+                f"indices {indices.shape} and data {data.shape} differ in shape"
+            )
+        if indices.shape[0] != self.shape[0]:
+            raise FormatError(
+                f"indices has {indices.shape[0]} rows, expected {self.shape[0]}"
+            )
+        valid = indices >= 0
+        if np.any(indices[valid] >= self.shape[1]):
+            raise FormatError("column index out of range")
+        if np.any(indices[~valid] != PAD_COL):
+            raise FormatError(f"padding slots must hold {PAD_COL}")
+
+    @property
+    def width(self) -> int:
+        """Padded row width ``K``."""
+        return int(self.indices.shape[1])
+
+    @property
+    def nnz(self) -> int:
+        """Number of non-padding entries."""
+        return int(np.count_nonzero(self.indices >= 0))
+
+    @property
+    def padding_ratio(self) -> float:
+        """Fraction of stored slots that are padding (0 for a full matrix)."""
+        total = self.indices.size
+        return 0.0 if total == 0 else 1.0 - self.nnz / total
+
+    @classmethod
+    def from_csr(cls, csr: CSRMatrix, *, max_width: int | None = None) -> "ELLMatrix":
+        """Convert from CSR, padding to the maximum row length.
+
+        ``max_width`` optionally caps the width; rows longer than the cap
+        raise :class:`FormatError` (callers wanting truncation should use
+        the HYB split instead).
+        """
+        lengths = csr.row_lengths()
+        k = int(lengths.max()) if csr.nrows and csr.nnz else 0
+        if max_width is not None:
+            if k > max_width:
+                raise FormatError(
+                    f"row of length {k} exceeds max_width={max_width}; use HYB"
+                )
+            k = max_width
+        indices = np.full((csr.nrows, k), PAD_COL, dtype=INDEX_DTYPE)
+        data = np.zeros((csr.nrows, k), dtype=VALUE_DTYPE)
+        if csr.nnz:
+            row_of = np.repeat(np.arange(csr.nrows), lengths)
+            within = np.arange(csr.nnz) - np.repeat(csr.rowptr[:-1], lengths)
+            indices[row_of, within] = csr.colidx
+            data[row_of, within] = csr.val
+        return cls(indices, data, csr.shape)
+
+    def to_csr(self) -> CSRMatrix:
+        """Convert back to CSR, dropping padding."""
+        valid = self.indices >= 0
+        lengths = valid.sum(axis=1).astype(INDEX_DTYPE)
+        rows = np.repeat(np.arange(self.shape[0], dtype=INDEX_DTYPE), lengths)
+        cols = self.indices[valid]
+        vals = self.data[valid]
+        return CSRMatrix.from_coo_arrays(
+            rows, cols, vals, self.shape, sum_duplicates=False
+        )
+
+    def matvec(self, v: np.ndarray) -> np.ndarray:
+        """ELL SpMV: one dense gather + row-sum, padding contributes zero."""
+        v = np.asarray(v, dtype=VALUE_DTYPE)
+        if v.shape != (self.shape[1],):
+            raise ShapeError(f"vector has shape {v.shape}, expected ({self.shape[1]},)")
+        if self.width == 0:
+            return np.zeros(self.shape[0], dtype=VALUE_DTYPE)
+        gathered = np.where(self.indices >= 0, v[np.clip(self.indices, 0, None)], 0.0)
+        return (self.data * gathered).sum(axis=1)
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise as a dense array."""
+        return self.to_csr().to_dense()

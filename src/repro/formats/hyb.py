@@ -1,0 +1,121 @@
+"""Hybrid ELL + COO (HYB) sparse format.
+
+Bell & Garland's hybrid format (cited by the paper as the classic remedy
+for ELL's padding blow-up): the first ``k`` non-zeros of every row live
+in a SIMD-friendly ELL slab, the tail of longer rows spills into a COO
+remainder.  The split width ``k`` is chosen so that a configurable
+fraction of rows fit entirely in the ELL part.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix, INDEX_DTYPE
+from repro.formats.ell import ELLMatrix
+
+__all__ = ["HYBMatrix", "choose_hyb_width"]
+
+
+def choose_hyb_width(row_lengths: np.ndarray, *, coverage: float = 2 / 3) -> int:
+    """Pick the ELL slab width covering ``coverage`` of the rows fully.
+
+    This mirrors the cuSPARSE heuristic: the width is the smallest ``k``
+    such that at least ``coverage`` of the rows have length <= ``k``.
+    """
+    if not 0.0 < coverage <= 1.0:
+        raise ValueError(f"coverage must be in (0, 1], got {coverage}")
+    row_lengths = np.asarray(row_lengths)
+    if len(row_lengths) == 0:
+        return 0
+    return int(np.quantile(row_lengths, coverage, method="inverted_cdf"))
+
+
+@dataclass(frozen=True)
+class HYBMatrix:
+    """ELL slab + COO spill, together representing one matrix."""
+
+    ell: ELLMatrix
+    coo: COOMatrix
+    shape: Tuple[int, int]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "shape", (int(self.shape[0]), int(self.shape[1])))
+        if self.ell.shape != self.shape or self.coo.shape != self.shape:
+            raise FormatError(
+                f"part shapes {self.ell.shape} / {self.coo.shape} "
+                f"disagree with {self.shape}"
+            )
+
+    @property
+    def nnz(self) -> int:
+        """Total non-zeros across both parts."""
+        return self.ell.nnz + self.coo.nnz
+
+    @property
+    def spill_ratio(self) -> float:
+        """Fraction of non-zeros living in the COO remainder."""
+        total = self.nnz
+        return 0.0 if total == 0 else self.coo.nnz / total
+
+    @classmethod
+    def from_csr(
+        cls, csr: CSRMatrix, *, width: int | None = None, coverage: float = 2 / 3
+    ) -> "HYBMatrix":
+        """Split a CSR matrix at ``width`` (auto-chosen when ``None``)."""
+        lengths = csr.row_lengths()
+        k = choose_hyb_width(lengths, coverage=coverage) if width is None else int(width)
+        if k < 0:
+            raise FormatError(f"width must be >= 0, got {k}")
+        if csr.nnz == 0:
+            ell = ELLMatrix.from_csr(csr, max_width=k)
+            coo = COOMatrix(
+                np.zeros(0, dtype=INDEX_DTYPE),
+                np.zeros(0, dtype=INDEX_DTYPE),
+                np.zeros(0),
+                csr.shape,
+            )
+            return cls(ell, coo, csr.shape)
+        row_of = np.repeat(np.arange(csr.nrows, dtype=INDEX_DTYPE), lengths)
+        within = np.arange(csr.nnz) - np.repeat(csr.rowptr[:-1], lengths)
+        in_ell = within < k
+        # ELL slab
+        ell_indices = np.full((csr.nrows, k), -1, dtype=INDEX_DTYPE)
+        ell_data = np.zeros((csr.nrows, k))
+        ell_indices[row_of[in_ell], within[in_ell]] = csr.colidx[in_ell]
+        ell_data[row_of[in_ell], within[in_ell]] = csr.val[in_ell]
+        ell = ELLMatrix(ell_indices, ell_data, csr.shape)
+        # COO spill
+        coo = COOMatrix(
+            row_of[~in_ell], csr.colidx[~in_ell], csr.val[~in_ell], csr.shape
+        )
+        return cls(ell, coo, csr.shape)
+
+    def to_csr(self) -> CSRMatrix:
+        """Recombine both parts into a single CSR matrix."""
+        ell_csr = self.ell.to_csr()
+        rows = np.concatenate(
+            [
+                np.repeat(
+                    np.arange(ell_csr.nrows, dtype=INDEX_DTYPE), ell_csr.row_lengths()
+                ),
+                self.coo.rows,
+            ]
+        )
+        cols = np.concatenate([ell_csr.colidx, self.coo.cols])
+        vals = np.concatenate([ell_csr.val, self.coo.vals])
+        return CSRMatrix.from_coo_arrays(rows, cols, vals, self.shape,
+                                         sum_duplicates=False)
+
+    def matvec(self, v: np.ndarray) -> np.ndarray:
+        """HYB SpMV = ELL SpMV + COO scatter-add."""
+        return self.ell.matvec(v) + self.coo.matvec(v)
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise as a dense array."""
+        return self.ell.to_dense() + self.coo.to_dense()

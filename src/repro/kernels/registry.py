@@ -1,0 +1,57 @@
+"""Kernel registry: the paper's nine-kernel candidate pool.
+
+The registry maps kernel names to singleton instances.  Names are stable
+identifiers used as the ``kernelID`` target attribute of the second
+classifier stage, so order and spelling matter for trained models.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.errors import KernelError
+from repro.kernels.base import Kernel
+from repro.kernels.serial import SerialKernel
+from repro.kernels.subvector import SubvectorKernel
+from repro.kernels.vector import VectorKernel
+
+__all__ = ["kernel_registry", "get_kernel", "DEFAULT_KERNEL_NAMES", "SUBVECTOR_WIDTHS"]
+
+#: Subvector widths in the pool.  The paper enumerates
+#: {2, 4, 16, 32, 64, 128} yet counts nine kernels; X=8 is included to
+#: reach serial + 7 + vector = 9 (see DESIGN.md).
+SUBVECTOR_WIDTHS: Tuple[int, ...] = (2, 4, 8, 16, 32, 64, 128)
+
+
+def _build_registry() -> Dict[str, Kernel]:
+    kernels: list[Kernel] = [SerialKernel()]
+    kernels.extend(SubvectorKernel(x) for x in SUBVECTOR_WIDTHS)
+    kernels.append(VectorKernel())
+    return {k.name: k for k in kernels}
+
+
+_REGISTRY = _build_registry()
+
+#: The nine kernel names, in serial -> subvector -> vector order.
+DEFAULT_KERNEL_NAMES: Tuple[str, ...] = tuple(_REGISTRY.keys())
+
+
+def kernel_registry() -> Dict[str, Kernel]:
+    """A fresh name->kernel mapping of the full candidate pool."""
+    return dict(_REGISTRY)
+
+
+def get_kernel(name: str) -> Kernel:
+    """Look up one kernel by registry name.
+
+    Raises
+    ------
+    KernelError
+        For unknown names (with the list of valid ones).
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KernelError(
+            f"unknown kernel {name!r}; expected one of {list(DEFAULT_KERNEL_NAMES)}"
+        ) from None

@@ -1,0 +1,222 @@
+"""The 16 representative matrices of the paper's Table II, synthesised.
+
+The real SuiteSparse files are not available offline, so each matrix is
+re-created by the generator family matching its "Kind" column, with the
+paper's row/column counts and nnz/row distribution.  A global ``scale``
+knob shrinks the row count (nnz shrinks proportionally; the *per-row*
+distribution is preserved) so the full evaluation stays tractable in
+pure Python.  ``scale=1.0`` reproduces the paper's dimensions.
+
+The paper's Table II:
+
+======================  ======  ======  ======  ============================
+name                    #Row    #Col    #NZ     Kind
+======================  ======  ======  ======  ============================
+apache1                 81k     81k     542k    structural
+bfly                    49k     49k     197k    undirected graph sequence
+ch7-9-b3                106k    18k     423k    combinatorial
+crankseg_2              64k     64k     14M     structural
+cryg10000               10k     10k     50k     materials
+D6-6                    120k    24k     147k    combinatorial
+denormal                89k     89k     1M      counter-example
+dictionary28            53k     53k     178k    undirected graph
+europe_osm              51M     51M     108M    undirected graph (roads)
+Ga3As3H12               61k     61k     6M      quantum chemistry
+HV15R                   2M      2M      283M    CFD
+pcrystk02               14k     14k     969k    materials (duplicate)
+pkustk14                152k    152k    15M     structural
+roadNet-CA              2M      2M      6M      undirected graph (roads)
+shar_te2-b2             200k    17k     601k    combinatorial
+whitaker3_dual          19k     19k     57k     2D/3D
+======================  ======  ======  ======  ============================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro.formats.csr import CSRMatrix
+from repro.matrices import generators as gen
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = [
+    "RepresentativeSpec",
+    "REPRESENTATIVE_NAMES",
+    "representative_specs",
+    "representative_matrix",
+]
+
+
+@dataclass(frozen=True)
+class RepresentativeSpec:
+    """Description of one Table II matrix and how it is synthesised."""
+
+    name: str
+    paper_rows: int
+    paper_cols: int
+    paper_nnz: int
+    kind: str
+    #: builder(rows, cols, rng) -> CSRMatrix; rows/cols already scaled.
+    builder: Callable[[int, int, SeedLike], CSRMatrix]
+    #: Extra scale-down applied on top of the caller's scale for matrices
+    #: that are enormous in the paper (europe_osm, HV15R, roadNet-CA).
+    intrinsic_scale: float = 1.0
+
+    @property
+    def paper_avg_nnz(self) -> float:
+        """Average non-zeros per row in the paper's original matrix."""
+        return self.paper_nnz / self.paper_rows
+
+
+def _spec_table() -> Dict[str, RepresentativeSpec]:
+    """Construct the spec for every Table II matrix."""
+
+    def mk(name, rows, cols, nnz, kind, builder, intrinsic_scale=1.0):
+        return RepresentativeSpec(
+            name, rows, cols, nnz, kind, builder, intrinsic_scale
+        )
+
+    specs = [
+        mk(
+            "apache1", 81_000, 81_000, 542_000, "structural",
+            lambda m, n, s: gen.banded(m, ncols=n, avg_nnz=6.7, spread=0.8, seed=s),
+        ),
+        mk(
+            "bfly", 49_000, 49_000, 197_000, "undirected graph sequence",
+            lambda m, n, s: gen.mesh_dual(m, degree=4, seed=s),
+        ),
+        mk(
+            "ch7-9-b3", 106_000, 18_000, 423_000, "combinatorial",
+            lambda m, n, s: gen.combinatorial_incidence(m, n, nnz_per_row=4, seed=s),
+        ),
+        mk(
+            "crankseg_2", 64_000, 64_000, 14_000_000, "structural",
+            lambda m, n, s: gen.cfd_like(m, avg_nnz=222.0, spread=70.0, seed=s),
+        ),
+        mk(
+            "cryg10000", 10_000, 10_000, 50_000, "materials",
+            lambda m, n, s: gen.banded(m, ncols=n, avg_nnz=5.0, spread=0.5, seed=s),
+        ),
+        mk(
+            "D6-6", 120_000, 24_000, 147_000, "combinatorial",
+            _d66,
+        ),
+        mk(
+            "denormal", 89_000, 89_000, 1_000_000, "counter-example",
+            lambda m, n, s: gen.banded(m, ncols=n, avg_nnz=11.2, spread=1.5, seed=s),
+        ),
+        mk(
+            "dictionary28", 53_000, 53_000, 178_000, "undirected graph",
+            lambda m, n, s: gen.power_law_graph(
+                m, avg_degree=3.4, exponent=2.1, seed=s
+            ),
+        ),
+        mk(
+            "europe_osm", 51_000_000, 51_000_000, 108_000_000,
+            "undirected graph (roads)",
+            lambda m, n, s: gen.road_network(m, avg_degree=2.1, seed=s),
+            intrinsic_scale=1 / 64,
+        ),
+        mk(
+            "Ga3As3H12", 61_000, 61_000, 6_000_000, "quantum chemistry",
+            lambda m, n, s: gen.quantum_chemistry_like(
+                m, avg_nnz=98.0, tail_fraction=0.02, tail_scale=8.0, seed=s
+            ),
+        ),
+        mk(
+            "HV15R", 2_000_000, 2_000_000, 283_000_000, "CFD",
+            lambda m, n, s: gen.cfd_like(m, avg_nnz=141.0, spread=25.0, seed=s),
+            intrinsic_scale=1 / 32,
+        ),
+        mk(
+            "pcrystk02", 14_000, 14_000, 969_000, "materials (duplicate)",
+            lambda m, n, s: gen.cfd_like(m, avg_nnz=69.0, spread=15.0, seed=s),
+        ),
+        mk(
+            "pkustk14", 152_000, 152_000, 15_000_000, "structural",
+            lambda m, n, s: gen.cfd_like(m, avg_nnz=98.0, spread=30.0, seed=s),
+            intrinsic_scale=1 / 4,
+        ),
+        mk(
+            "roadNet-CA", 2_000_000, 2_000_000, 6_000_000,
+            "undirected graph (roads)",
+            lambda m, n, s: gen.road_network(m, avg_degree=2.8, seed=s),
+            intrinsic_scale=1 / 16,
+        ),
+        mk(
+            "shar_te2-b2", 200_000, 17_000, 601_000, "combinatorial",
+            lambda m, n, s: gen.combinatorial_incidence(m, n, nnz_per_row=3, seed=s),
+        ),
+        mk(
+            "whitaker3_dual", 19_000, 19_000, 57_000, "2D/3D",
+            lambda m, n, s: gen.mesh_dual(m, degree=3, seed=s),
+        ),
+    ]
+    return {s.name: s for s in specs}
+
+
+def _d66(m: int, n: int, seed: SeedLike) -> CSRMatrix:
+    """D6-6: avg 1.2 nnz/row -- most rows have 1 entry, some 2."""
+    rng = as_generator(seed)
+    import numpy as np
+
+    lengths = np.where(rng.random(m) < 0.8, 1, 2).astype(np.int64)
+    return CSRMatrix.from_row_lengths(lengths, n, rng=rng)
+
+
+_SPECS = _spec_table()
+
+#: Table II matrix names in the paper's order.
+REPRESENTATIVE_NAMES: Tuple[str, ...] = tuple(_SPECS.keys())
+
+
+def representative_specs() -> Dict[str, RepresentativeSpec]:
+    """All Table II specs keyed by matrix name."""
+    return dict(_SPECS)
+
+
+def representative_matrix(
+    name: str,
+    *,
+    scale: float = 1.0,
+    seed: SeedLike = 0,
+    min_rows: int = 256,
+) -> CSRMatrix:
+    """Synthesise one Table II matrix at the given ``scale``.
+
+    Parameters
+    ----------
+    name:
+        A :data:`REPRESENTATIVE_NAMES` entry.
+    scale:
+        Multiplier on the paper's row/column counts, applied on top of the
+        spec's ``intrinsic_scale`` (which already shrinks the web-scale
+        matrices).  ``scale=1.0`` gives paper-sized matrices for everything
+        except europe_osm / HV15R / roadNet-CA / pkustk14.
+    seed:
+        RNG seed; each matrix derives a distinct stream from it.
+    min_rows:
+        Lower bound on the scaled row count so tiny test scales still
+        produce a meaningful matrix.
+    """
+    try:
+        spec = _SPECS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown representative matrix {name!r}; "
+            f"expected one of {list(REPRESENTATIVE_NAMES)}"
+        ) from None
+    if scale <= 0:
+        raise ValueError(f"scale must be > 0, got {scale}")
+    eff = scale * spec.intrinsic_scale
+    rows = max(int(round(spec.paper_rows * eff)), min_rows)
+    cols = max(int(round(spec.paper_cols * eff)), min_rows)
+    rng = as_generator(seed)
+    # Derive a per-matrix stream so matrices differ even with equal seeds.
+    # zlib.crc32 is stable across processes (unlike built-in str hashing).
+    import zlib
+
+    tag = zlib.crc32(name.encode("utf-8"))
+    sub = as_generator((tag + int(rng.integers(0, 2**31))) % (2**31))
+    return spec.builder(rows, cols, sub)

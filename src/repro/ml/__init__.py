@@ -1,0 +1,39 @@
+"""From-scratch C5.0-style machine learning.
+
+The paper uses the C5.0 data-mining tool; this environment has no ML
+library, so this subpackage implements the relevant algorithm family
+from first principles:
+
+- :mod:`repro.ml.tree` -- a C4.5/C5.0-style decision tree: gain-ratio
+  splits on continuous attributes with the MDL candidate penalty,
+  sample weights, and confidence-based (pessimistic) subtree-replacement
+  pruning.
+- :mod:`repro.ml.rules` -- if-then **ruleset** extraction and
+  simplification (the artefact C5.0 hands back after training, which the
+  paper's framework consults at prediction time).
+- :mod:`repro.ml.boosting` -- SAMME-style adaptive boosting ("trials" in
+  C5.0 terminology).
+- :mod:`repro.ml.dataset` / :mod:`repro.ml.metrics` /
+  :mod:`repro.ml.crossval` -- the supporting plumbing: typed datasets,
+  splits, error metrics and k-fold cross-validation.
+"""
+
+from repro.ml.boosting import BoostedTreesClassifier
+from repro.ml.crossval import cross_validate
+from repro.ml.dataset import Dataset, train_test_split
+from repro.ml.metrics import accuracy, confusion_matrix, error_rate
+from repro.ml.rules import Rule, RuleSet
+from repro.ml.tree import DecisionTreeClassifier
+
+__all__ = [
+    "Dataset",
+    "train_test_split",
+    "DecisionTreeClassifier",
+    "BoostedTreesClassifier",
+    "Rule",
+    "RuleSet",
+    "accuracy",
+    "error_rate",
+    "confusion_matrix",
+    "cross_validate",
+]

@@ -1,0 +1,100 @@
+"""Adaptive boosting of decision trees (C5.0 "trials").
+
+C5.0's flagship extension over C4.5 is boosting: a committee of trees
+trained on reweighted data whose weighted vote usually beats any single
+tree.  This is multiclass AdaBoost in the SAMME formulation: after each
+trial, misclassified samples are up-weighted and the trial's vote weight
+is ``log((1 - err) / err) + log(K - 1)``.  Training stops early when a
+trial is either perfect (nothing left to learn) or no better than
+chance (boosting has degenerated).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import NotFittedError, TrainingError
+from repro.ml.dataset import Dataset
+from repro.ml.tree import DecisionTreeClassifier
+
+__all__ = ["BoostedTreesClassifier"]
+
+
+class BoostedTreesClassifier:
+    """SAMME AdaBoost over :class:`DecisionTreeClassifier` base learners."""
+
+    def __init__(
+        self,
+        *,
+        trials: int = 10,
+        max_depth: int = 12,
+        min_samples_leaf: float = 2.0,
+        prune_cf: Optional[float] = 0.25,
+    ):
+        if trials < 1:
+            raise TrainingError(f"trials must be >= 1, got {trials}")
+        self.trials = int(trials)
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.prune_cf = prune_cf
+        self.trees_: List[DecisionTreeClassifier] = []
+        self.alphas_: List[float] = []
+        self.n_classes_: int = 0
+
+    def fit(self, dataset: Dataset) -> "BoostedTreesClassifier":
+        """Run up to ``trials`` boosting rounds; returns ``self``."""
+        n = dataset.n_samples
+        if n == 0:
+            raise TrainingError("cannot fit on an empty dataset")
+        k = dataset.n_classes
+        self.n_classes_ = k
+        self.trees_, self.alphas_ = [], []
+        w = np.full(n, 1.0 / n)
+        for _ in range(self.trials):
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                prune_cf=self.prune_cf,
+            ).fit(dataset, sample_weight=w * n)
+            pred = tree.predict(dataset.X)
+            wrong = pred != dataset.y
+            err = float(w[wrong].sum())
+            if err <= 1e-12:
+                # Perfect trial dominates; keep it alone if it is first,
+                # otherwise stop (later trials add nothing).
+                if not self.trees_:
+                    self.trees_ = [tree]
+                    self.alphas_ = [1.0]
+                break
+            if err >= 1.0 - 1.0 / k:
+                # No better than chance: boosting degenerated.
+                if not self.trees_:
+                    self.trees_ = [tree]
+                    self.alphas_ = [1.0]
+                break
+            alpha = float(np.log((1.0 - err) / err) + np.log(k - 1.0)) if k > 1 else 1.0
+            self.trees_.append(tree)
+            self.alphas_.append(alpha)
+            w = w * np.exp(alpha * wrong)
+            w /= w.sum()
+        if not self.trees_:  # pragma: no cover - defensive
+            raise TrainingError("boosting produced no usable trial")
+        return self
+
+    @property
+    def n_trials_(self) -> int:
+        """Boosting rounds actually kept."""
+        return len(self.trees_)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Weighted committee vote."""
+        if not self.trees_:
+            raise NotFittedError("call fit() before predict()")
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        votes = np.zeros((len(X), self.n_classes_))
+        for tree, alpha in zip(self.trees_, self.alphas_):
+            pred = tree.predict(X)
+            votes[np.arange(len(X)), pred] += alpha
+        return np.argmax(votes, axis=1)

@@ -1,0 +1,45 @@
+"""K-fold cross-validation for the tree/boosting classifiers."""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.ml.dataset import Dataset
+from repro.ml.metrics import error_rate
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["cross_validate"]
+
+
+def cross_validate(
+    make_model: Callable[[], object],
+    dataset: Dataset,
+    *,
+    k: int = 5,
+    seed: SeedLike = 0,
+) -> List[float]:
+    """Per-fold error rates of ``make_model()`` under ``k``-fold CV.
+
+    ``make_model`` must return a fresh estimator with ``fit(dataset)``
+    and ``predict(X)``.  Folds are shuffled deterministically by ``seed``.
+    """
+    n = dataset.n_samples
+    if k < 2:
+        raise TrainingError(f"k must be >= 2, got {k}")
+    if n < k:
+        raise TrainingError(f"need at least k={k} samples, got {n}")
+    rng = as_generator(seed)
+    perm = rng.permutation(n)
+    folds = np.array_split(perm, k)
+    errors: List[float] = []
+    for i in range(k):
+        test_idx = folds[i]
+        train_idx = np.concatenate([folds[j] for j in range(k) if j != i])
+        model = make_model()
+        model.fit(dataset.subset(train_idx))
+        pred = model.predict(dataset.X[test_idx])
+        errors.append(error_rate(dataset.y[test_idx], pred))
+    return errors

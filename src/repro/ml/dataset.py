@@ -1,0 +1,116 @@
+"""Typed dataset container and train/test splitting.
+
+A :class:`Dataset` couples the feature matrix with integer class labels
+and the human-readable names of both -- the names matter because the
+framework's rulesets are meant to be *read* (the paper's C5.0 emits
+if-then statements over named attributes like ``Avg_NNZ``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["Dataset", "train_test_split"]
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """Feature matrix ``X`` (n, d), integer labels ``y`` (n,), names."""
+
+    X: np.ndarray
+    y: np.ndarray
+    feature_names: Tuple[str, ...]
+    class_names: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        X = np.ascontiguousarray(self.X, dtype=np.float64)
+        y = np.ascontiguousarray(self.y, dtype=np.int64)
+        object.__setattr__(self, "X", X)
+        object.__setattr__(self, "y", y)
+        object.__setattr__(self, "feature_names", tuple(self.feature_names))
+        object.__setattr__(self, "class_names", tuple(self.class_names))
+        if X.ndim != 2:
+            raise TrainingError(f"X must be 2-D, got ndim={X.ndim}")
+        if y.shape != (X.shape[0],):
+            raise TrainingError(
+                f"y has shape {y.shape}, expected ({X.shape[0]},)"
+            )
+        if X.shape[1] != len(self.feature_names):
+            raise TrainingError(
+                f"{X.shape[1]} feature columns but "
+                f"{len(self.feature_names)} feature names"
+            )
+        if len(y) and (y.min() < 0 or y.max() >= len(self.class_names)):
+            raise TrainingError(
+                f"labels must lie in [0, {len(self.class_names)}), "
+                f"got range [{y.min()}, {y.max()}]"
+            )
+        if not np.all(np.isfinite(X)):
+            raise TrainingError("X contains non-finite values")
+
+    @property
+    def n_samples(self) -> int:
+        """Number of rows."""
+        return int(self.X.shape[0])
+
+    @property
+    def n_features(self) -> int:
+        """Number of feature columns."""
+        return int(self.X.shape[1])
+
+    @property
+    def n_classes(self) -> int:
+        """Number of declared classes (some may be absent from ``y``)."""
+        return len(self.class_names)
+
+    def subset(self, idx: np.ndarray) -> "Dataset":
+        """Row subset sharing names."""
+        idx = np.asarray(idx)
+        return Dataset(self.X[idx], self.y[idx], self.feature_names,
+                       self.class_names)
+
+    def class_counts(self) -> np.ndarray:
+        """Per-class sample counts (length ``n_classes``)."""
+        return np.bincount(self.y, minlength=self.n_classes)
+
+
+def train_test_split(
+    dataset: Dataset,
+    *,
+    test_fraction: float = 0.25,
+    seed: SeedLike = 0,
+    stratify: bool = True,
+) -> Tuple[Dataset, Dataset]:
+    """Random split; the paper uses 75 % train / 25 % test.
+
+    With ``stratify=True`` each class contributes proportionally to the
+    test set (singleton classes stay in the training set, so rare labels
+    never vanish from training).
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise TrainingError(
+            f"test_fraction must be in (0, 1), got {test_fraction}"
+        )
+    n = dataset.n_samples
+    if n < 2:
+        raise TrainingError(f"need at least 2 samples to split, got {n}")
+    rng = as_generator(seed)
+    test_mask = np.zeros(n, dtype=bool)
+    if stratify:
+        for c in range(dataset.n_classes):
+            members = np.flatnonzero(dataset.y == c)
+            if len(members) < 2:
+                continue
+            k = int(round(len(members) * test_fraction))
+            k = min(max(k, 1), len(members) - 1)
+            test_mask[rng.choice(members, size=k, replace=False)] = True
+    else:
+        k = min(max(int(round(n * test_fraction)), 1), n - 1)
+        test_mask[rng.choice(n, size=k, replace=False)] = True
+    return dataset.subset(~test_mask), dataset.subset(test_mask)

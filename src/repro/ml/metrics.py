@@ -1,0 +1,50 @@
+"""Classification metrics for the two-stage model evaluation.
+
+The paper reports stage-1 error around 5 % and stage-2 error up to 15 %
+(§III-C); these helpers compute the same quantities for
+``EXPERIMENTS.md`` and the ML benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["accuracy", "error_rate", "confusion_matrix"]
+
+
+def _check(y_true: np.ndarray, y_pred: np.ndarray):
+    y_true = np.asarray(y_true, dtype=np.int64)
+    y_pred = np.asarray(y_pred, dtype=np.int64)
+    if y_true.shape != y_pred.shape or y_true.ndim != 1:
+        raise ValueError(
+            f"y_true {y_true.shape} and y_pred {y_pred.shape} must be equal 1-D"
+        )
+    if len(y_true) == 0:
+        raise ValueError("empty label arrays")
+    return y_true, y_pred
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of correct predictions."""
+    y_true, y_pred = _check(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def error_rate(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of wrong predictions (the quantity the paper reports)."""
+    return 1.0 - accuracy(y_true, y_pred)
+
+
+def confusion_matrix(
+    y_true: np.ndarray, y_pred: np.ndarray, n_classes: int | None = None
+) -> np.ndarray:
+    """Counts matrix ``C[i, j]`` = samples of class ``i`` predicted ``j``."""
+    y_true, y_pred = _check(y_true, y_pred)
+    k = (
+        int(max(y_true.max(), y_pred.max())) + 1
+        if n_classes is None
+        else int(n_classes)
+    )
+    out = np.zeros((k, k), dtype=np.int64)
+    np.add.at(out, (y_true, y_pred), 1)
+    return out

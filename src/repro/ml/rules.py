@@ -1,0 +1,216 @@
+"""Ruleset extraction from decision trees (the C5.0 "rules" mode).
+
+After training, C5.0 can emit a set of if-then statements -- the
+representation the paper's framework consults at run time ("the C5.0 can
+offer a rule-set, which is a set of if-then statements").  This module
+converts a fitted :class:`~repro.ml.tree.DecisionTreeClassifier` into a
+:class:`RuleSet`:
+
+1. every root-to-leaf path becomes one rule (conjunction of threshold
+   conditions -> class);
+2. each rule is *simplified* by greedily dropping conditions that do not
+   worsen its pessimistic error estimate on the training data;
+3. rules are ordered by estimated error (most reliable first) and
+   prediction takes the first matching rule, falling back to the
+   training majority class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.ml.dataset import Dataset
+from repro.ml.tree import DecisionTreeClassifier, TreeNode, binomial_error_upper_bound
+
+__all__ = ["Condition", "Rule", "RuleSet"]
+
+
+@dataclass(frozen=True)
+class Condition:
+    """One threshold test: ``feature <= threshold`` or ``feature > threshold``."""
+
+    feature: int
+    threshold: float
+    is_leq: bool
+
+    def matches(self, X: np.ndarray) -> np.ndarray:
+        """Boolean mask of rows satisfying the condition."""
+        col = X[:, self.feature]
+        return col <= self.threshold if self.is_leq else col > self.threshold
+
+    def render(self, feature_names: Sequence[str]) -> str:
+        """Readable form, e.g. ``Avg_NNZ <= 12.5``."""
+        name = (
+            feature_names[self.feature]
+            if self.feature < len(feature_names)
+            else f"x{self.feature}"
+        )
+        op = "<=" if self.is_leq else ">"
+        return f"{name} {op} {self.threshold:g}"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A conjunction of conditions implying a class."""
+
+    conditions: Tuple[Condition, ...]
+    klass: int
+    #: Pessimistic error estimate used for ordering (lower = better).
+    error_estimate: float = 1.0
+    #: Training samples covered when the rule was built.
+    coverage: float = 0.0
+
+    def matches(self, X: np.ndarray) -> np.ndarray:
+        """Rows of ``X`` satisfying every condition."""
+        mask = np.ones(len(X), dtype=bool)
+        for cond in self.conditions:
+            mask &= cond.matches(X)
+        return mask
+
+    def render(self, feature_names: Sequence[str], class_names: Sequence[str]) -> str:
+        """Readable if-then form."""
+        cls = (
+            class_names[self.klass]
+            if self.klass < len(class_names)
+            else str(self.klass)
+        )
+        if not self.conditions:
+            return f"IF (always) THEN {cls}"
+        body = " AND ".join(c.render(feature_names) for c in self.conditions)
+        return f"IF {body} THEN {cls}"
+
+
+class RuleSet:
+    """Ordered rules + default class, usable as a classifier."""
+
+    def __init__(
+        self,
+        rules: Sequence[Rule],
+        default_class: int,
+        feature_names: Tuple[str, ...] = (),
+        class_names: Tuple[str, ...] = (),
+    ):
+        self.rules = list(rules)
+        self.default_class = int(default_class)
+        self.feature_names = feature_names
+        self.class_names = class_names
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_tree(
+        cls,
+        tree: DecisionTreeClassifier,
+        dataset: Dataset,
+        *,
+        cf: float = 0.25,
+        simplify: bool = True,
+    ) -> "RuleSet":
+        """Extract + simplify rules from a fitted tree.
+
+        ``dataset`` should be the training data (used to estimate each
+        rule's pessimistic error during simplification).
+        """
+        if tree.root is None:
+            raise TrainingError("tree must be fitted before rule extraction")
+        paths: List[Tuple[Tuple[Condition, ...], int]] = []
+
+        def walk(node: TreeNode, conds: Tuple[Condition, ...]) -> None:
+            if node.is_leaf:
+                paths.append((conds, node.majority))
+                return
+            walk(
+                node.left,
+                conds + (Condition(node.feature, node.threshold, True),),
+            )
+            walk(
+                node.right,
+                conds + (Condition(node.feature, node.threshold, False),),
+            )
+
+        walk(tree.root, ())
+        X, y = dataset.X, dataset.y
+        rules = []
+        for conds, klass in paths:
+            conds = list(conds)
+            if simplify:
+                conds = cls._simplify(conds, klass, X, y, cf)
+            err, cov = cls._estimate(tuple(conds), klass, X, y, cf)
+            rules.append(Rule(tuple(conds), klass, err, cov))
+        rules.sort(key=lambda r: (r.error_estimate, -r.coverage))
+        default = int(np.argmax(np.bincount(y, minlength=dataset.n_classes)))
+        return cls(rules, default, dataset.feature_names, dataset.class_names)
+
+    @staticmethod
+    def _estimate(
+        conds: Tuple[Condition, ...],
+        klass: int,
+        X: np.ndarray,
+        y: np.ndarray,
+        cf: float,
+    ) -> Tuple[float, float]:
+        mask = np.ones(len(X), dtype=bool)
+        for c in conds:
+            mask &= c.matches(X)
+        n = float(mask.sum())
+        if n == 0:
+            return 1.0, 0.0
+        errors = float(np.count_nonzero(y[mask] != klass))
+        return binomial_error_upper_bound(errors, n, cf), n
+
+    @classmethod
+    def _simplify(
+        cls,
+        conds: List[Condition],
+        klass: int,
+        X: np.ndarray,
+        y: np.ndarray,
+        cf: float,
+    ) -> List[Condition]:
+        """Greedily drop conditions that don't raise the error estimate."""
+        best_err, _ = cls._estimate(tuple(conds), klass, X, y, cf)
+        improved = True
+        while improved and conds:
+            improved = False
+            for i in range(len(conds)):
+                trial = conds[:i] + conds[i + 1 :]
+                err, _ = cls._estimate(tuple(trial), klass, X, y, cf)
+                if err <= best_err + 1e-12:
+                    conds = trial
+                    best_err = err
+                    improved = True
+                    break
+        return conds
+
+    # ------------------------------------------------------------------
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """First-matching-rule prediction with majority fallback."""
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        out = np.full(len(X), self.default_class, dtype=np.int64)
+        unresolved = np.ones(len(X), dtype=bool)
+        for rule in self.rules:
+            if not unresolved.any():
+                break
+            hits = rule.matches(X) & unresolved
+            out[hits] = rule.klass
+            unresolved &= ~hits
+        return out
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def render(self) -> str:
+        """The full ruleset as readable text (one rule per line)."""
+        lines = [
+            r.render(self.feature_names, self.class_names) for r in self.rules
+        ]
+        default = (
+            self.class_names[self.default_class]
+            if self.default_class < len(self.class_names)
+            else str(self.default_class)
+        )
+        lines.append(f"DEFAULT {default}")
+        return "\n".join(lines)

@@ -1,0 +1,203 @@
+"""JSON (de)serialisation of trained models and tuners.
+
+The paper's workflow trains offline and consults the model at run time;
+a real deployment therefore needs the trained artefacts to survive the
+training process.  This module round-trips every learned object --
+decision trees (node by node), boosted committees, rulesets, the tuning
+space and the whole :class:`~repro.core.framework.AutoTuner` -- through
+plain JSON-compatible dictionaries, with a schema version for forward
+compatibility.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.ml.boosting import BoostedTreesClassifier
+from repro.ml.rules import Condition, Rule, RuleSet
+from repro.ml.tree import DecisionTreeClassifier, TreeNode
+
+__all__ = [
+    "tree_to_dict",
+    "tree_from_dict",
+    "boosted_to_dict",
+    "boosted_from_dict",
+    "ruleset_to_dict",
+    "ruleset_from_dict",
+    "SCHEMA_VERSION",
+]
+
+SCHEMA_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Tree
+# ----------------------------------------------------------------------
+def _node_to_dict(node: TreeNode) -> Dict:
+    out: Dict = {
+        "class_weights": node.class_weights.tolist(),
+        "depth": node.depth,
+    }
+    if not node.is_leaf:
+        out.update(
+            feature=int(node.feature),
+            threshold=float(node.threshold),
+            left=_node_to_dict(node.left),
+            right=_node_to_dict(node.right),
+        )
+    return out
+
+
+def _node_from_dict(d: Dict) -> TreeNode:
+    node = TreeNode(
+        class_weights=np.asarray(d["class_weights"], dtype=np.float64),
+        depth=int(d.get("depth", 0)),
+    )
+    if "feature" in d:
+        node.feature = int(d["feature"])
+        node.threshold = float(d["threshold"])
+        node.left = _node_from_dict(d["left"])
+        node.right = _node_from_dict(d["right"])
+    return node
+
+
+def tree_to_dict(tree: DecisionTreeClassifier) -> Dict:
+    """Serialise a fitted tree (hyper-parameters + structure)."""
+    if tree.root is None:
+        raise TrainingError("cannot serialise an unfitted tree")
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "tree",
+        "params": {
+            "max_depth": tree.max_depth,
+            "min_samples_leaf": tree.min_samples_leaf,
+            "min_gain": tree.min_gain,
+            "prune_cf": tree.prune_cf,
+            "mdl_penalty": tree.mdl_penalty,
+        },
+        "n_classes": tree.n_classes_,
+        "feature_names": list(tree.feature_names_),
+        "class_names": list(tree.class_names_),
+        "root": _node_to_dict(tree.root),
+    }
+
+
+def tree_from_dict(d: Dict) -> DecisionTreeClassifier:
+    """Inverse of :func:`tree_to_dict`."""
+    if d.get("kind") != "tree":
+        raise TrainingError(f"expected kind 'tree', got {d.get('kind')!r}")
+    tree = DecisionTreeClassifier(**d["params"])
+    tree.n_classes_ = int(d["n_classes"])
+    tree.feature_names_ = tuple(d["feature_names"])
+    tree.class_names_ = tuple(d["class_names"])
+    tree.root = _node_from_dict(d["root"])
+    return tree
+
+
+# ----------------------------------------------------------------------
+# Boosted committee
+# ----------------------------------------------------------------------
+def boosted_to_dict(model: BoostedTreesClassifier) -> Dict:
+    """Serialise a fitted boosted committee."""
+    if not model.trees_:
+        raise TrainingError("cannot serialise an unfitted committee")
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "boosted",
+        "params": {
+            "trials": model.trials,
+            "max_depth": model.max_depth,
+            "min_samples_leaf": model.min_samples_leaf,
+            "prune_cf": model.prune_cf,
+        },
+        "n_classes": model.n_classes_,
+        "alphas": [float(a) for a in model.alphas_],
+        "trees": [tree_to_dict(t) for t in model.trees_],
+    }
+
+
+def boosted_from_dict(d: Dict) -> BoostedTreesClassifier:
+    """Inverse of :func:`boosted_to_dict`."""
+    if d.get("kind") != "boosted":
+        raise TrainingError(f"expected kind 'boosted', got {d.get('kind')!r}")
+    model = BoostedTreesClassifier(**d["params"])
+    model.n_classes_ = int(d["n_classes"])
+    model.alphas_ = [float(a) for a in d["alphas"]]
+    model.trees_ = [tree_from_dict(t) for t in d["trees"]]
+    return model
+
+
+def classifier_to_dict(model) -> Dict:
+    """Serialise either classifier kind."""
+    if isinstance(model, BoostedTreesClassifier):
+        return boosted_to_dict(model)
+    if isinstance(model, DecisionTreeClassifier):
+        return tree_to_dict(model)
+    raise TrainingError(f"unsupported model type {type(model).__name__}")
+
+
+def classifier_from_dict(d: Dict):
+    """Inverse of :func:`classifier_to_dict` (dispatch on ``kind``)."""
+    kind = d.get("kind")
+    if kind == "boosted":
+        return boosted_from_dict(d)
+    if kind == "tree":
+        return tree_from_dict(d)
+    raise TrainingError(f"unknown classifier kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Rulesets
+# ----------------------------------------------------------------------
+def ruleset_to_dict(rules: RuleSet) -> Dict:
+    """Serialise a ruleset."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "ruleset",
+        "default_class": rules.default_class,
+        "feature_names": list(rules.feature_names),
+        "class_names": list(rules.class_names),
+        "rules": [
+            {
+                "klass": r.klass,
+                "error_estimate": r.error_estimate,
+                "coverage": r.coverage,
+                "conditions": [
+                    {"feature": c.feature, "threshold": c.threshold,
+                     "is_leq": c.is_leq}
+                    for c in r.conditions
+                ],
+            }
+            for r in rules.rules
+        ],
+    }
+
+
+def ruleset_from_dict(d: Dict) -> RuleSet:
+    """Inverse of :func:`ruleset_to_dict`."""
+    if d.get("kind") != "ruleset":
+        raise TrainingError(f"expected kind 'ruleset', got {d.get('kind')!r}")
+    rules = [
+        Rule(
+            conditions=tuple(
+                Condition(int(c["feature"]), float(c["threshold"]),
+                          bool(c["is_leq"]))
+                for c in r["conditions"]
+            ),
+            klass=int(r["klass"]),
+            error_estimate=float(r["error_estimate"]),
+            coverage=float(r["coverage"]),
+        )
+        for r in d["rules"]
+    ]
+    return RuleSet(
+        rules,
+        int(d["default_class"]),
+        tuple(d["feature_names"]),
+        tuple(d["class_names"]),
+    )

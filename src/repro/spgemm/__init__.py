@@ -1,0 +1,37 @@
+"""Sparse x sparse matrix multiplication (SpGEMM) with binned tuning.
+
+The paper states its framework "can be directly applied to other
+kernels with different potential implementations for different inputs"
+and names SpGEMM explicitly (§I, §VI); its related work discusses Liu et
+al.'s hybrid-binned SpGEMM.  This subpackage demonstrates that
+generalisation:
+
+- :mod:`repro.spgemm.reference` -- a vectorised Gustavson (row-wise)
+  SpGEMM producing exact CSR results;
+- :mod:`repro.spgemm.workload` -- per-row FLOP estimation (the SpGEMM
+  analogue of nnz-per-row workloads; upper bound = exact for duplicates
+  not yet merged);
+- :mod:`repro.spgemm.tuned` -- binning rows of ``A`` by estimated FLOPs
+  (reusing the paper's coarse virtual-row scheme) and selecting one of
+  three accumulator strategies per bin (scalar merge / sort-based /
+  dense accumulator), each with an analytical cost model on the shared
+  device spec.
+"""
+
+from repro.spgemm.reference import spgemm_reference
+from repro.spgemm.tuned import (
+    ACCUMULATOR_NAMES,
+    BinnedSpGEMM,
+    SpGEMMResult,
+    accumulator_cost,
+)
+from repro.spgemm.workload import estimate_row_flops
+
+__all__ = [
+    "spgemm_reference",
+    "estimate_row_flops",
+    "BinnedSpGEMM",
+    "SpGEMMResult",
+    "ACCUMULATOR_NAMES",
+    "accumulator_cost",
+]

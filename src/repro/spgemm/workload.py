@@ -1,0 +1,36 @@
+"""SpGEMM workload estimation.
+
+SpMV's per-row workload is its nnz count; SpGEMM's is the FLOP count
+``sum over stored A[i, k] of nnz(B[k, :])`` -- computable exactly in one
+vectorised pass *before* doing any multiplication, which is what lets
+the binning scheme group rows up front (exactly as Liu et al.'s binned
+SpGEMM does).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.formats.csr import CSRMatrix
+from repro.utils.primitives import segmented_sum
+
+__all__ = ["estimate_row_flops"]
+
+
+def estimate_row_flops(a: CSRMatrix, b: CSRMatrix) -> np.ndarray:
+    """Per-row multiply counts of ``A @ B`` (length ``a.nrows``).
+
+    This is the ESC upper bound on each output row's intermediate size
+    and the exact FLOP count; rows of ``A`` whose columns hit dense rows
+    of ``B`` dominate, which is the irregularity the binned SpGEMM must
+    absorb.
+    """
+    if a.ncols != b.nrows:
+        raise ShapeError(
+            f"inner dimensions differ: A is {a.shape}, B is {b.shape}"
+        )
+    if a.nnz == 0:
+        return np.zeros(a.nrows, dtype=np.int64)
+    per_entry = b.row_lengths()[a.colidx].astype(np.float64)
+    return segmented_sum(per_entry, a.rowptr).astype(np.int64)

@@ -1,0 +1,47 @@
+"""Shared low-level utilities used by every other subpackage.
+
+The modules here deliberately have no dependencies on the rest of the
+library (only NumPy), so they can be imported from anywhere without
+creating cycles:
+
+- :mod:`repro.utils.validation` -- argument checking helpers.
+- :mod:`repro.utils.rng` -- seeded random-generator plumbing.
+- :mod:`repro.utils.timing` -- wall-clock timers for the real CPU path.
+- :mod:`repro.utils.primitives` -- scan / segmented-reduction primitives
+  mirroring the GPU building blocks the paper's kernels rely on.
+- :mod:`repro.utils.tables` -- plain-text table rendering for the
+  benchmark harness reports.
+"""
+
+from repro.utils.primitives import (
+    exclusive_scan,
+    inclusive_scan,
+    segment_ids_from_offsets,
+    segmented_max,
+    segmented_reduce_tree,
+    segmented_sum,
+)
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.timing import Timer
+from repro.utils.validation import (
+    check_1d,
+    check_dtype,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "exclusive_scan",
+    "inclusive_scan",
+    "segment_ids_from_offsets",
+    "segmented_max",
+    "segmented_reduce_tree",
+    "segmented_sum",
+    "as_generator",
+    "spawn_generators",
+    "Timer",
+    "check_1d",
+    "check_dtype",
+    "check_positive",
+    "check_probability",
+]

@@ -1,0 +1,94 @@
+"""Plain-text table and series rendering for the benchmark harness.
+
+The benchmark scripts reproduce the paper's tables and figures as text:
+tables render with aligned columns, figures render as labelled series
+(rows of ``label: value`` pairs) plus optional ASCII bar charts so that
+the *shape* of each figure is visible directly in CI logs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_series", "ascii_bars"]
+
+
+def _fmt(value: object, floatfmt: str) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return format(value, floatfmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    floatfmt: str = ".3g",
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` as a fixed-width text table.
+
+    >>> print(format_table(["a", "b"], [[1, 2.5]]))
+    a | b
+    --+----
+    1 | 2.5
+    """
+    str_rows = [[_fmt(v, floatfmt) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, float],
+    *,
+    floatfmt: str = ".4g",
+    title: str | None = None,
+) -> str:
+    """Render a label->value mapping one pair per line, labels aligned."""
+    if not series:
+        return title or ""
+    width = max(len(k) for k in series)
+    lines = [title] if title else []
+    for key, value in series.items():
+        lines.append(f"{key.ljust(width)} : {_fmt(float(value), floatfmt)}")
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    series: Mapping[str, float],
+    *,
+    width: int = 40,
+    floatfmt: str = ".3g",
+    title: str | None = None,
+) -> str:
+    """Render a label->value mapping as a horizontal ASCII bar chart.
+
+    Values must be non-negative; the longest bar spans ``width`` chars.
+    """
+    if not series:
+        return title or ""
+    vmax = max(series.values())
+    if vmax < 0 or any(v < 0 for v in series.values()):
+        raise ValueError("ascii_bars requires non-negative values")
+    label_w = max(len(k) for k in series)
+    lines = [title] if title else []
+    for key, value in series.items():
+        n = 0 if vmax == 0 else int(round(width * value / vmax))
+        lines.append(f"{key.ljust(label_w)} |{'#' * n} {_fmt(float(value), floatfmt)}")
+    return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Wall-clock timing helpers for the real (non-simulated) execution paths.
+
+The simulated APU reports time from its cycle model; the multi-core CPU
+path (:mod:`repro.device.cpu`) and the binning-overhead experiments also
+measure *real* wall-clock time, for which this module provides a small
+context-manager timer with repeat/summary support, following the
+"no optimisation without measuring" workflow from the HPC guides.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+__all__ = ["Timer", "best_of"]
+
+
+@dataclass
+class Timer:
+    """Context-manager wall-clock timer accumulating laps.
+
+    Example
+    -------
+    >>> t = Timer()
+    >>> with t:
+    ...     sum(range(1000))
+    499500
+    >>> t.elapsed > 0
+    True
+    """
+
+    laps: list[float] = field(default_factory=list)
+    _start: Optional[float] = field(default=None, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._start is None:  # pragma: no cover - defensive
+            raise RuntimeError("Timer.__exit__ called without __enter__")
+        self.laps.append(time.perf_counter() - self._start)
+        self._start = None
+
+    @property
+    def elapsed(self) -> float:
+        """Total accumulated seconds across all laps."""
+        return sum(self.laps)
+
+    @property
+    def mean(self) -> float:
+        """Mean lap duration in seconds (``0.0`` when no laps recorded)."""
+        return statistics.fmean(self.laps) if self.laps else 0.0
+
+    @property
+    def best(self) -> float:
+        """Fastest lap in seconds (``0.0`` when no laps recorded)."""
+        return min(self.laps) if self.laps else 0.0
+
+    def reset(self) -> None:
+        """Discard all recorded laps."""
+        self.laps.clear()
+
+
+def best_of(fn: Callable[[], object], *, repeats: int = 3) -> float:
+    """Run ``fn`` ``repeats`` times and return the fastest wall-clock time.
+
+    Taking the minimum over repeats is the standard way to suppress
+    scheduling noise when micro-benchmarking on a shared machine.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best

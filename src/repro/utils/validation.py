@@ -1,0 +1,71 @@
+"""Argument-validation helpers.
+
+These helpers centralise the defensive checks used across the library so
+error messages are consistent and each call site stays one line long.
+They raise built-in exception types (``ValueError`` / ``TypeError``) for
+programming errors; domain errors use :mod:`repro.errors`.
+"""
+
+from __future__ import annotations
+
+import numbers
+
+import numpy as np
+
+__all__ = ["check_1d", "check_dtype", "check_positive", "check_probability"]
+
+
+def check_1d(arr: np.ndarray, name: str) -> np.ndarray:
+    """Return ``arr`` as a 1-D :class:`numpy.ndarray`.
+
+    Parameters
+    ----------
+    arr:
+        Array-like to validate.
+    name:
+        Name used in the error message.
+
+    Raises
+    ------
+    ValueError
+        If the array has a dimensionality other than one.
+    """
+    out = np.asarray(arr)
+    if out.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got ndim={out.ndim}")
+    return out
+
+
+def check_dtype(arr: np.ndarray, kinds: str, name: str) -> np.ndarray:
+    """Validate that ``arr.dtype.kind`` is one of ``kinds``.
+
+    ``kinds`` is a string of NumPy dtype-kind characters, e.g. ``"iu"``
+    for signed/unsigned integers or ``"f"`` for floats.
+    """
+    out = np.asarray(arr)
+    if out.dtype.kind not in kinds:
+        raise TypeError(
+            f"{name} must have dtype kind in {sorted(kinds)}, got {out.dtype}"
+        )
+    return out
+
+
+def check_positive(value: numbers.Real, name: str, *, strict: bool = True) -> None:
+    """Raise ``ValueError`` unless ``value`` is positive.
+
+    With ``strict=False`` zero is accepted as well.
+    """
+    if not isinstance(value, numbers.Real) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    if strict and value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    if not strict and value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+
+
+def check_probability(value: float, name: str) -> None:
+    """Raise ``ValueError`` unless ``value`` lies in the closed unit interval."""
+    if not isinstance(value, numbers.Real) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    if not 0.0 <= float(value) <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")

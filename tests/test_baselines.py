@@ -1,0 +1,181 @@
+"""Tests for the baseline SpMV implementations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import CSRAdaptiveSpMV, MergeSpMV, SingleKernelSpMV
+from repro.baselines.merge_spmv import merge_path_partition
+from repro.device import SimulatedDevice
+from repro.errors import KernelError
+from repro.formats import CSRMatrix
+from repro.matrices import generators as gen
+
+DEVICE = SimulatedDevice()
+
+
+def _random_csr(m, n, density, seed):
+    rng = np.random.default_rng(seed)
+    dense = rng.standard_normal((m, n))
+    dense[rng.random((m, n)) > density] = 0.0
+    return CSRMatrix.from_dense(dense)
+
+
+class TestSingleKernel:
+    def test_result_correct(self):
+        m = gen.bimodal_rows(2_000, seed=0)
+        v = np.random.default_rng(1).standard_normal(m.ncols)
+        for kernel in ("serial", "subvector16", "vector"):
+            result = SingleKernelSpMV(kernel, DEVICE).run(m, v)
+            np.testing.assert_allclose(result.u, m @ v, atol=1e-9)
+            assert result.n_dispatches == 1
+
+    def test_time_matches_run(self):
+        m = gen.road_network(3_000, seed=2)
+        sk = SingleKernelSpMV("serial", DEVICE)
+        v = np.ones(m.ncols)
+        assert sk.time(m) == pytest.approx(sk.run(m, v).seconds)
+
+    def test_name(self):
+        assert SingleKernelSpMV("vector", DEVICE).name == "kernel-vector"
+
+    def test_unknown_kernel(self):
+        with pytest.raises(KernelError):
+            SingleKernelSpMV("warp", DEVICE)
+
+
+class TestCSRAdaptive:
+    def test_result_correct(self):
+        m = gen.quantum_chemistry_like(1_500, avg_nnz=40, seed=3)
+        v = np.random.default_rng(4).standard_normal(m.ncols)
+        result = CSRAdaptiveSpMV(device=DEVICE).run(m, v)
+        np.testing.assert_allclose(result.u, m @ v, atol=1e-9)
+
+    def test_time_positive_and_scales(self):
+        small = gen.road_network(2_000, seed=5)
+        big = gen.road_network(40_000, seed=5)
+        ca = CSRAdaptiveSpMV(device=DEVICE)
+        assert 0 < ca.time(small) < ca.time(big)
+
+    def test_blocking_overhead_toggle(self):
+        m = gen.road_network(20_000, seed=6)
+        base = CSRAdaptiveSpMV(device=DEVICE).time(m)
+        counted = CSRAdaptiveSpMV(
+            device=DEVICE, count_blocking_overhead=True
+        ).time(m)
+        assert counted > base
+
+    def test_single_long_row_uses_vector_path(self):
+        lengths = np.array([5_000])
+        m = CSRMatrix.from_row_lengths(lengths, 6_000,
+                                       rng=np.random.default_rng(0))
+        ca = CSRAdaptiveSpMV(device=DEVICE)
+        stats = ca._stats(m, 1.0, DEVICE.spec)
+        # one singleton block -> the vector kernel's 4 waves.
+        assert stats.n_workgroups == 1
+        assert stats.n_waves == DEVICE.spec.waves_per_workgroup
+
+    def test_competitive_with_good_kernels(self):
+        """CSR-Adaptive sits within a modest factor of the oracle kernel."""
+        from repro.device.memory import effective_gather_locality
+        from repro.kernels import DEFAULT_KERNEL_NAMES, get_kernel
+
+        m = gen.banded(30_000, avg_nnz=7, seed=7)
+        g = effective_gather_locality(m, DEVICE.spec)
+        best = min(
+            DEVICE.time_dispatch(get_kernel(k), m.row_lengths(), g)
+            for k in DEFAULT_KERNEL_NAMES
+        )
+        t_ca = CSRAdaptiveSpMV(device=DEVICE).time(m)
+        assert t_ca < 2.0 * best
+        assert t_ca > 0.3 * best
+
+
+class TestMergePathPartition:
+    def test_boundaries_complete(self):
+        m = gen.power_law_graph(1_000, avg_degree=6, seed=8)
+        rs, es = merge_path_partition(m.rowptr, m.nnz, 7)
+        assert rs[0] == 0 and es[0] == 0
+        assert rs[-1] == m.nrows and es[-1] == m.nnz
+        assert np.all(np.diff(rs) >= 0) and np.all(np.diff(es) >= 0)
+
+    def test_balanced_items(self):
+        lengths = np.zeros(1_000, dtype=np.int64)
+        lengths[0] = 10_000  # extreme skew
+        m = CSRMatrix.from_row_lengths(lengths, 20_000,
+                                       rng=np.random.default_rng(0))
+        rs, es = merge_path_partition(m.rowptr, m.nnz, 8)
+        items = np.diff(rs) + np.diff(es)
+        target = (m.nrows + m.nnz) / 8
+        assert items.max() < 1.5 * target  # skew neutralised
+
+    def test_rejects_zero_chunks(self):
+        with pytest.raises(ValueError):
+            merge_path_partition(np.array([0, 1]), 1, 0)
+
+
+class TestMergeSpMV:
+    def test_result_correct_skewed(self):
+        m = gen.dense_row_outliers(1_200, base_len=3, outlier_count=3,
+                                   seed=9)
+        v = np.random.default_rng(10).standard_normal(m.ncols)
+        out = MergeSpMV(device=DEVICE).compute(m, v)
+        np.testing.assert_allclose(out, m @ v, atol=1e-9)
+
+    def test_result_correct_empty_rows(self):
+        m = CSRMatrix.from_dense(
+            np.array([[0.0, 0], [1, 2], [0, 0], [3, 0], [0, 0]])
+        )
+        out = MergeSpMV(items_per_chunk=3, device=DEVICE).compute(
+            m, np.array([1.0, 1.0])
+        )
+        np.testing.assert_allclose(out, [0, 3, 0, 3, 0])
+
+    def test_row_spanning_many_chunks(self):
+        lengths = np.array([1, 900, 1])
+        m = CSRMatrix.from_row_lengths(lengths, 1_000,
+                                       rng=np.random.default_rng(0))
+        v = np.random.default_rng(1).standard_normal(1_000)
+        out = MergeSpMV(items_per_chunk=64, device=DEVICE).compute(m, v)
+        np.testing.assert_allclose(out, m @ v, atol=1e-9)
+
+    def test_run_returns_time(self):
+        m = gen.road_network(2_000, seed=11)
+        v = np.ones(m.ncols)
+        result = MergeSpMV(device=DEVICE).run(m, v)
+        np.testing.assert_allclose(result.u, m @ v, atol=1e-9)
+        assert result.seconds > 0
+
+    def test_insensitive_to_skew(self):
+        """Merge-path's selling point: time tracks total work, not skew."""
+        rng = np.random.default_rng(12)
+        uniform = CSRMatrix.from_row_lengths(
+            np.full(10_000, 10), 20_000, rng=rng
+        )
+        skewed_lengths = np.full(10_000, 5)
+        skewed_lengths[:50] = 1_010  # same nnz, heavy skew
+        skewed = CSRMatrix.from_row_lengths(skewed_lengths, 20_000, rng=rng)
+        merge = MergeSpMV(device=DEVICE)
+        t_u, t_s = merge.time(uniform, locality=0.5), merge.time(
+            skewed, locality=0.5
+        )
+        assert abs(t_u - t_s) / t_u < 0.25
+
+    def test_rejects_bad_chunk(self):
+        with pytest.raises(ValueError):
+            MergeSpMV(items_per_chunk=0)
+
+    @given(
+        st.integers(min_value=1, max_value=25),
+        st.integers(min_value=1, max_value=25),
+        st.floats(min_value=0.05, max_value=0.8),
+        st.integers(min_value=0, max_value=2**31),
+        st.integers(min_value=2, max_value=16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_reference(self, m, n, density, seed, chunk):
+        a = _random_csr(m, n, density, seed)
+        v = np.random.default_rng(seed ^ 0x5A).standard_normal(n)
+        out = MergeSpMV(items_per_chunk=chunk, device=DEVICE).compute(a, v)
+        np.testing.assert_allclose(out, a @ v, atol=1e-9)

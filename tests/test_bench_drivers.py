@@ -1,0 +1,144 @@
+"""Fast, scaled-down integration tests for every benchmark driver.
+
+These run the same code paths as ``benchmarks/`` at toy scale so driver
+regressions surface in the unit suite, not only in the (slow) benchmark
+session.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.figures import (
+    run_ablation_features,
+    run_ablation_granularity,
+    run_fig2a,
+    run_fig2b,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_ml_error_rates,
+    run_table1,
+    run_table2,
+)
+from repro.bench.harness import BenchContext, representative_suite
+from repro.core import AutoTuner, TuningSpace
+from repro.device import SimulatedDevice
+from repro.matrices import generate_collection
+
+
+@pytest.fixture(scope="module", autouse=True)
+def tiny_scale(tmp_path_factory):
+    """Force tiny representative matrices for every driver test."""
+    import os
+
+    old = os.environ.get("REPRO_BENCH_SCALE")
+    os.environ["REPRO_BENCH_SCALE"] = "0.01"
+    yield
+    if old is None:
+        os.environ.pop("REPRO_BENCH_SCALE", None)
+    else:
+        os.environ["REPRO_BENCH_SCALE"] = old
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    device = SimulatedDevice()
+    space = TuningSpace(
+        granularities=(10, 100, 10_000),
+        kernel_names=("serial", "subvector2", "subvector8", "subvector64",
+                      "vector"),
+    )
+    corpus = generate_collection(15, seed=2, size_range=(1_000, 8_000))
+    tuner = AutoTuner(device=device, space=space, classifier="tree", seed=0)
+    tuner.fit(corpus)
+    paper = AutoTuner(
+        device=device,
+        space=TuningSpace(
+            granularities=space.granularities,
+            kernel_names=space.kernel_names,
+            include_single_bin=False,
+        ),
+        classifier="tree",
+        seed=0,
+    )
+    paper.fit(corpus)
+    return BenchContext(device=device, tuner=tuner, paper_tuner=paper,
+                        corpus_seed=2, n_corpus=15)
+
+
+class TestFigureDrivers:
+    def test_fig2a(self, ctx):
+        result = run_fig2a(ctx)
+        assert len(result.data) == 2
+        assert "FIG2a" in result.report
+        for times in result.data.values():
+            assert all(t > 0 for t in times.values())
+
+    def test_fig2b(self, ctx):
+        result = run_fig2b(ctx)
+        assert 1 <= len(result.data) <= 4
+        for entry in result.data.values():
+            assert entry["best"] in entry
+
+    def test_fig5(self, ctx):
+        result = run_fig5(ctx, n_matrices=10, seed=1)
+        assert 0.5 < result.data["frac_le_100"] <= 1.0
+        assert sum(result.data["histogram"].values()) > 0
+
+    def test_table1(self, ctx):
+        result = run_table1(ctx)
+        assert len(result.data) == 16
+
+    def test_table2(self, ctx):
+        result = run_table2(ctx)
+        assert all("paper_avg_nnz" in d for d in result.data.values())
+
+    def test_ml_error_rates(self, ctx):
+        result = run_ml_error_rates(ctx, n_holdout=4, seed=3)
+        assert 0 <= result.data["stage2_error"] <= 1
+        assert result.data["mean_regret"] >= 1.0 - 1e-9
+
+    def test_fig6(self, ctx):
+        result = run_fig6(ctx)
+        assert len(result.data) == 16
+        for d in result.data.values():
+            assert d["auto"] > 0 and d["serial"] > 0 and d["vector"] > 0
+
+    def test_fig7(self, ctx):
+        result = run_fig7(ctx)
+        assert len(result.data) == 16
+        assert "auto wins" in result.report
+
+    def test_fig8(self, ctx):
+        result = run_fig8(ctx, nrows=50_000, granularities=(1, 10, 100))
+        dev = result.data["device"]
+        assert dev[1] > dev[10] > dev[100]
+        assert all(t >= 0 for t in result.data["host"].values())
+
+    def test_fig9(self, ctx):
+        result = run_fig9(ctx)
+        assert len(result.data) == 6
+        for d in result.data.values():
+            assert d["best"] in d and d["csr_adaptive"] > 0
+
+    def test_ablation_granularity(self, ctx):
+        result = run_ablation_granularity(ctx, seed=5)
+        for times in result.data.values():
+            assert set(times) == set(ctx.tuner.space.scheme_labels)
+
+    def test_ablation_features(self, ctx):
+        result = run_ablation_features(ctx, n_matrices=10, seed=6)
+        assert set(result.data) == {
+            "basic+tree", "basic+boosted", "extended+tree",
+            "extended+boosted",
+        }
+
+
+class TestHarness:
+    def test_representative_suite_cached(self):
+        a = representative_suite(scale=0.01, seed=0)
+        b = representative_suite(scale=0.01, seed=0)
+        assert a is b
+        assert len(a) == 16

@@ -1,0 +1,128 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, load_matrix, main
+from repro.formats import CSRMatrix, write_matrix_market
+
+
+@pytest.fixture(scope="module")
+def trained_model(tmp_path_factory):
+    """A tiny trained tuner saved to disk (shared across CLI tests)."""
+    path = tmp_path_factory.mktemp("model") / "tuner.json"
+    code = main(
+        ["train", "--matrices", "10", "--out", str(path), "--seed", "1",
+         "--classifier", "tree"]
+    )
+    assert code == 0
+    return str(path)
+
+
+class TestLoadMatrix:
+    def test_family_spec(self):
+        m = load_matrix("road_network:500", seed=0)
+        assert m.nrows == 500
+
+    def test_mtx_path(self, tmp_path):
+        m = CSRMatrix.identity(4)
+        path = tmp_path / "eye.mtx"
+        write_matrix_market(m, path)
+        assert load_matrix(str(path)).equals(m)
+
+    def test_unknown_family(self):
+        with pytest.raises(SystemExit):
+            load_matrix("torus:100")
+
+    def test_bad_size(self):
+        with pytest.raises(SystemExit):
+            load_matrix("banded:abc")
+
+    def test_bare_string_rejected(self):
+        with pytest.raises(SystemExit):
+            load_matrix("whatever")
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train", "--out", "x.json"])
+        assert args.matrices == 150
+        assert args.classifier == "boosted"
+
+    def test_plan_args(self):
+        args = build_parser().parse_args(
+            ["plan", "--model", "m.json", "--matrix", "banded:100"]
+        )
+        assert args.oracle is False
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "compute units" in out
+        assert "serial" in out and "vector" in out
+
+    def test_train_writes_model(self, trained_model):
+        import json
+        payload = json.loads(open(trained_model).read())
+        assert payload["kind"] == "autotuner"
+
+    def test_plan(self, trained_model, capsys):
+        code = main(
+            ["plan", "--model", trained_model, "--matrix", "bimodal:2000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scheme:" in out
+
+    def test_plan_with_oracle(self, trained_model, capsys):
+        code = main(
+            ["plan", "--model", trained_model, "--matrix", "banded:1000",
+             "--oracle"]
+        )
+        assert code == 0
+        assert "oracle" in capsys.readouterr().out
+
+    def test_run_verifies(self, trained_model, capsys):
+        code = main(
+            ["run", "--model", trained_model, "--matrix", "road_network:2000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verified: OK" in out
+        assert "csr-adaptive" in out
+
+    def test_run_mtx_roundtrip(self, trained_model, tmp_path, capsys):
+        rng = np.random.default_rng(0)
+        dense = rng.standard_normal((50, 50))
+        dense[rng.random((50, 50)) > 0.1] = 0.0
+        m = CSRMatrix.from_dense(dense)
+        path = tmp_path / "m.mtx"
+        write_matrix_market(m, path)
+        assert main(["run", "--model", trained_model,
+                     "--matrix", str(path)]) == 0
+
+    def test_train_empty_mtx_dir(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["train", "--mtx-dir", str(tmp_path), "--out",
+                  str(tmp_path / "t.json")])
+
+    def test_train_on_mtx_dir(self, tmp_path, capsys):
+        rng = np.random.default_rng(1)
+        for i in range(6):
+            dense = rng.standard_normal((60, 60))
+            dense[rng.random((60, 60)) > 0.08] = 0.0
+            write_matrix_market(CSRMatrix.from_dense(dense),
+                                tmp_path / f"m{i}.mtx")
+        out_path = tmp_path / "t.json"
+        code = main(["train", "--mtx-dir", str(tmp_path), "--out",
+                     str(out_path), "--classifier", "tree"])
+        assert code == 0
+        assert out_path.exists()

@@ -1,0 +1,240 @@
+"""Integration tests for the tuning space, training pipeline and AutoTuner."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AutoTuner,
+    ExecutionPlan,
+    TuningSpace,
+    build_datasets,
+    evaluate_matrix,
+    oracle_plan,
+)
+from repro.binning import SingleBinning
+from repro.device import SimulatedDevice
+from repro.errors import NotFittedError, TrainingError
+from repro.formats import CSRMatrix
+from repro.matrices import bimodal_rows, generate_collection
+from repro.matrices import generators as gen
+
+DEVICE = SimulatedDevice()
+
+#: A small tuning space keeps these tests fast.
+SMALL_SPACE = TuningSpace(
+    granularities=(10, 100, 10_000),
+    kernel_names=("serial", "subvector4", "subvector32", "vector"),
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_collection(30, seed=4, size_range=(500, 5_000))
+
+
+@pytest.fixture(scope="module")
+def fitted(corpus):
+    tuner = AutoTuner(device=DEVICE, space=SMALL_SPACE, seed=0)
+    tuner.fit(corpus)
+    return tuner
+
+
+class TestTuningSpace:
+    def test_defaults_match_paper(self):
+        space = TuningSpace()
+        assert space.granularities[:4] == (10, 20, 50, 100)
+        assert len(space.kernel_names) == 9
+
+    def test_scheme_labels(self):
+        assert SMALL_SPACE.scheme_labels == ("U=10", "U=100", "U=10000",
+                                             "single")
+        assert SMALL_SPACE.n_schemes == 4
+
+    def test_schemes_align_with_labels(self):
+        schemes = SMALL_SPACE.schemes()
+        assert len(schemes) == 4
+        assert isinstance(schemes[-1], SingleBinning)
+
+    def test_u_value_encoding(self):
+        assert SMALL_SPACE.scheme_u_value(0) == 10
+        assert SMALL_SPACE.scheme_u_value(3) == 0  # single-bin sentinel
+        with pytest.raises(TrainingError):
+            SMALL_SPACE.scheme_u_value(4)
+
+    def test_paper_default_excludes_single(self):
+        paper = TuningSpace().paper_default
+        assert not paper.include_single_bin
+        assert "single" not in paper.scheme_labels
+
+    def test_rejects_invalid(self):
+        with pytest.raises(TrainingError):
+            TuningSpace(granularities=(), include_single_bin=False)
+        with pytest.raises(TrainingError):
+            TuningSpace(granularities=(10, 10))
+        with pytest.raises(TrainingError):
+            TuningSpace(granularities=(0,))
+        with pytest.raises(TrainingError):
+            TuningSpace(kernel_names=())
+
+
+class TestEvaluateMatrix:
+    def test_one_evaluation_per_scheme(self):
+        m = gen.road_network(2_000, seed=0)
+        evals = evaluate_matrix(m, DEVICE, SMALL_SPACE)
+        assert len(evals) == SMALL_SPACE.n_schemes
+        assert [e.scheme_label for e in evals] == list(SMALL_SPACE.scheme_labels)
+
+    def test_totals_include_overhead_and_launches(self):
+        m = gen.road_network(2_000, seed=0)
+        evals = evaluate_matrix(m, DEVICE, SMALL_SPACE)
+        for e in evals:
+            kernel_time = sum(t for _, t in e.best_kernels.values())
+            assert e.total_seconds >= kernel_time + e.binning_overhead
+
+    def test_best_kernels_only_nonempty_bins(self):
+        m = gen.road_network(2_000, seed=0)
+        evals = evaluate_matrix(m, DEVICE, SMALL_SPACE)
+        single = evals[-1]
+        assert list(single.best_kernels) == [0]
+        assert single.n_launches == 1
+
+
+class TestOraclePlan:
+    def test_covers_rows_and_executes(self):
+        m = bimodal_rows(5_000, seed=1)
+        plan = oracle_plan(m, DEVICE, SMALL_SPACE)
+        assert plan.source == "oracle"
+        v = np.ones(m.ncols)
+        result = DEVICE.run_spmv(m, v, plan.dispatches())
+        np.testing.assert_allclose(result.u, m @ v, atol=1e-8)
+
+    def test_oracle_beats_or_ties_every_scheme(self):
+        m = bimodal_rows(5_000, seed=2)
+        plan = oracle_plan(m, DEVICE, SMALL_SPACE)
+        evals = evaluate_matrix(m, DEVICE, SMALL_SPACE)
+        assert plan.predicted_seconds == pytest.approx(
+            min(e.total_seconds for e in evals)
+        )
+
+
+class TestBuildDatasets:
+    def test_shapes(self, corpus):
+        s1, s2 = build_datasets(corpus[:10], DEVICE, SMALL_SPACE)
+        assert s1.n_samples == 10
+        assert s1.n_features == 7
+        assert s2.n_features == 9  # Table I + U + binID
+        assert s2.n_samples >= 10 * SMALL_SPACE.n_schemes  # >=1 bin each
+        assert s1.class_names == SMALL_SPACE.scheme_labels
+        assert s2.class_names == SMALL_SPACE.kernel_names
+
+    def test_extended_features_widen_stage2(self, corpus):
+        s1, s2 = build_datasets(
+            corpus[:5], DEVICE, SMALL_SPACE, extended_features=True
+        )
+        assert s1.n_features > 7
+        assert s2.n_features == s1.n_features + 2
+
+    def test_progress_callback(self, corpus):
+        seen = []
+        build_datasets(
+            corpus[:3], DEVICE, SMALL_SPACE,
+            progress=lambda i, n: seen.append((i, n)),
+        )
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(TrainingError):
+            build_datasets([], DEVICE, SMALL_SPACE)
+
+    def test_accepts_bare_matrices(self):
+        mats = [gen.road_network(800, seed=i) for i in range(3)]
+        s1, _ = build_datasets(mats, DEVICE, SMALL_SPACE)
+        assert s1.n_samples == 3
+
+
+class TestAutoTuner:
+    def test_fit_produces_report_and_rules(self, fitted):
+        assert fitted.report is not None
+        assert 0.0 <= fitted.report.stage1_error <= 1.0
+        assert 0.0 <= fitted.report.stage2_error <= 1.0
+        assert len(fitted.stage1_rules) >= 1
+        assert len(fitted.stage2_rules) >= 1
+
+    def test_plan_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            AutoTuner(device=DEVICE, space=SMALL_SPACE).plan(
+                CSRMatrix.identity(4)
+            )
+
+    def test_plan_covers_all_rows(self, fitted):
+        m = bimodal_rows(4_000, seed=3)
+        plan = fitted.plan(m)
+        assert isinstance(plan, ExecutionPlan)
+        covered = sum(len(rows) for _, rows in plan.binning.non_empty())
+        assert covered == m.nrows
+        assert plan.predicted_seconds > 0
+
+    def test_run_matches_reference(self, fitted):
+        m = bimodal_rows(4_000, seed=4)
+        v = np.random.default_rng(5).standard_normal(m.ncols)
+        result = fitted.run(m, v)
+        np.testing.assert_allclose(result.u, m @ v, atol=1e-8)
+
+    def test_run_with_precomputed_plan(self, fitted):
+        m = gen.road_network(2_000, seed=6)
+        plan = fitted.plan(m)
+        v = np.ones(m.ncols)
+        a = fitted.run(m, v, plan=plan)
+        b = fitted.run(m, v)
+        np.testing.assert_allclose(a.u, b.u)
+
+    def test_predicted_within_factor_of_oracle(self, fitted):
+        """Prediction errors exist (paper: 5-15 %) but stay bounded."""
+        worst = 0.0
+        for seed in range(4):
+            m = bimodal_rows(6_000, long_fraction=0.05, seed=seed)
+            plan = fitted.plan(m)
+            oracle = fitted.oracle_plan(m)
+            worst = max(worst,
+                        plan.predicted_seconds / oracle.predicted_seconds)
+        assert worst < 3.0
+
+    def test_rejects_unknown_classifier(self):
+        with pytest.raises(TrainingError):
+            AutoTuner(classifier="svm")
+
+    def test_tree_classifier_variant(self, corpus):
+        tuner = AutoTuner(device=DEVICE, space=SMALL_SPACE,
+                          classifier="tree", seed=1)
+        tuner.fit(corpus[:15])
+        m = gen.road_network(1_500, seed=7)
+        v = np.ones(m.ncols)
+        result = tuner.run(m, v)
+        np.testing.assert_allclose(result.u, m @ v, atol=1e-8)
+
+    def test_evaluate_strategies_exposed(self, fitted):
+        m = gen.road_network(1_000, seed=8)
+        evals = fitted.evaluate_strategies(m)
+        assert len(evals) == SMALL_SPACE.n_schemes
+
+
+class TestExecutionPlan:
+    def test_rejects_missing_kernel_assignment(self):
+        m = bimodal_rows(500, seed=0)
+        scheme = SingleBinning()
+        binning = scheme.bin_rows(m)
+        with pytest.raises(TrainingError, match="no kernel"):
+            ExecutionPlan(scheme=scheme, binning=binning, bin_kernels={})
+
+    def test_describe_mentions_kernels(self, fitted):
+        m = bimodal_rows(2_000, seed=9)
+        plan = fitted.plan(m)
+        text = plan.describe()
+        assert plan.scheme.name in text
+        for name in plan.kernel_summary():
+            assert name in text
+
+    def test_kernel_summary_row_totals(self, fitted):
+        m = bimodal_rows(2_000, seed=10)
+        plan = fitted.plan(m)
+        assert sum(plan.kernel_summary().values()) == m.nrows

@@ -1,0 +1,203 @@
+"""Tests for the simulated device model (spec, memory, occupancy, dispatch)."""
+
+import numpy as np
+import pytest
+
+from repro.device import (
+    DeviceSpec,
+    DispatchStats,
+    dispatch_seconds,
+    gather_lines,
+    gather_locality,
+    stream_lines,
+    workgroup_occupancy,
+)
+from repro.device.dispatch import dispatch_cycles
+from repro.device.memory import serial_waste_factor
+from repro.device.occupancy import resident_waves
+from repro.errors import DeviceError
+from repro.formats import CSRMatrix
+from repro.matrices import generators as gen
+
+
+class TestDeviceSpec:
+    def test_kaveri_defaults(self):
+        spec = DeviceSpec.kaveri_apu()
+        assert spec.num_cus == 8
+        assert spec.wavefront_size == 64
+        assert spec.workgroup_size == 256
+        assert spec.waves_per_workgroup == 4
+
+    def test_issue_rate(self):
+        assert DeviceSpec.kaveri_apu().issue_rate == 8.0
+
+    def test_bytes_per_cycle(self):
+        spec = DeviceSpec.kaveri_apu()
+        assert spec.bytes_per_cycle == pytest.approx(25e9 / 720e6)
+
+    def test_seconds_conversion(self):
+        spec = DeviceSpec(clock_hz=1e6)
+        assert spec.seconds(1e6) == pytest.approx(1.0)
+
+    def test_rejects_bad_wavefront(self):
+        with pytest.raises(DeviceError):
+            DeviceSpec(wavefront_size=48)
+
+    def test_rejects_workgroup_not_multiple(self):
+        with pytest.raises(DeviceError):
+            DeviceSpec(workgroup_size=100)
+
+    def test_rejects_nonpositive_clock(self):
+        with pytest.raises(DeviceError):
+            DeviceSpec(clock_hz=0)
+
+
+class TestMemoryModel:
+    def test_stream_lines_rounds_up(self):
+        spec = DeviceSpec.kaveri_apu()
+        assert stream_lines(1, spec) == 1
+        assert stream_lines(64, spec) == 1
+        assert stream_lines(65, spec) == 2
+
+    def test_gather_locality_banded_beats_scattered(self):
+        banded_m = gen.banded(2000, avg_nnz=8, seed=0)
+        scattered = gen.random_uniform(2000, 2000, density=8 / 2000, seed=0)
+        assert gather_locality(banded_m) > 0.5
+        assert gather_locality(banded_m) > 2 * gather_locality(scattered)
+
+    def test_gather_locality_scattered_low(self):
+        m = gen.random_uniform(2000, 2000, density=5 / 2000, seed=1)
+        assert gather_locality(m) < 0.3
+
+    def test_gather_locality_trivial(self):
+        assert gather_locality(CSRMatrix.identity(5)) == 1.0
+        assert gather_locality(CSRMatrix.empty((3, 3))) == 1.0
+
+    def test_gather_lines_endpoints(self):
+        spec = DeviceSpec.kaveri_apu()
+        # Perfect locality: 8 elements per 64B line.
+        assert gather_lines(800, 1.0, spec) == pytest.approx(100.0)
+        # Fully scattered: one line per element.
+        assert gather_lines(800, 0.0, spec) == pytest.approx(800.0)
+
+    def test_gather_lines_monotone_in_locality(self):
+        spec = DeviceSpec.kaveri_apu()
+        assert gather_lines(100, 0.2, spec) > gather_lines(100, 0.8, spec)
+
+    def test_serial_waste_unit_rows_free(self):
+        spec = DeviceSpec.kaveri_apu()
+        assert serial_waste_factor(1.0, spec) == 1.0
+        assert serial_waste_factor(0.5, spec) == 1.0
+
+    def test_serial_waste_grows_linearly(self):
+        spec = DeviceSpec.kaveri_apu()
+        assert serial_waste_factor(2.0, spec) == pytest.approx(2.0)
+        assert serial_waste_factor(4.0, spec) == pytest.approx(4.0)
+
+    def test_serial_waste_long_rows_capped(self):
+        spec = DeviceSpec.kaveri_apu()
+        cap = spec.cacheline_bytes / 12
+        assert serial_waste_factor(10_000.0, spec) == pytest.approx(cap)
+
+    def test_serial_waste_monotone(self):
+        spec = DeviceSpec.kaveri_apu()
+        vals = serial_waste_factor(np.array([1.0, 50.0, 100.0, 500.0]), spec)
+        assert np.all(np.diff(vals) >= 0)
+
+
+class TestOccupancy:
+    def test_no_lds_hits_slot_cap(self):
+        spec = DeviceSpec.kaveri_apu()
+        # 40 waves / 4 per group = 10 work-groups by waves.
+        assert workgroup_occupancy(spec) == 10
+
+    def test_lds_bound(self):
+        spec = DeviceSpec.kaveri_apu()
+        assert workgroup_occupancy(spec, 32 * 1024) == 2
+        assert workgroup_occupancy(spec, 64 * 1024) == 1
+
+    def test_lds_overflow_raises(self):
+        spec = DeviceSpec.kaveri_apu()
+        with pytest.raises(DeviceError):
+            workgroup_occupancy(spec, 128 * 1024)
+
+    def test_negative_lds_raises(self):
+        with pytest.raises(DeviceError):
+            workgroup_occupancy(DeviceSpec.kaveri_apu(), -1)
+
+    def test_resident_waves_bounds(self):
+        spec = DeviceSpec.kaveri_apu()
+        assert resident_waves(spec, 0) == 0.0
+        assert resident_waves(spec, 1) == 1.0  # floor
+        assert resident_waves(spec, 10_000) == 40.0  # cap
+        assert resident_waves(spec, 80) == pytest.approx(10.0)
+
+
+class TestDispatch:
+    def _stats(self, **kw):
+        base = dict(
+            compute_instructions=1000.0,
+            longest_wave_instructions=10.0,
+            longest_dependent_iterations=5.0,
+            memory_lines=100.0,
+            n_waves=100.0,
+            n_workgroups=25.0,
+        )
+        base.update(kw)
+        return DispatchStats(**base)
+
+    def test_empty_dispatch_is_free(self):
+        assert dispatch_cycles(DispatchStats.empty(), DeviceSpec.kaveri_apu()) == 0.0
+
+    def test_rejects_negative_fields(self):
+        with pytest.raises(DeviceError):
+            self._stats(memory_lines=-1.0)
+
+    def test_compute_bound_scales_with_instructions(self):
+        spec = DeviceSpec.kaveri_apu()
+        t1 = dispatch_cycles(self._stats(compute_instructions=1e6), spec)
+        t2 = dispatch_cycles(self._stats(compute_instructions=2e6), spec)
+        assert t2 > 1.8 * t1
+
+    def test_bandwidth_bound_scales_with_lines(self):
+        spec = DeviceSpec.kaveri_apu()
+        t1 = dispatch_cycles(self._stats(memory_lines=1e6), spec)
+        t2 = dispatch_cycles(self._stats(memory_lines=2e6), spec)
+        assert t2 > 1.8 * t1
+
+    def test_latency_floor_for_tiny_dispatches(self):
+        spec = DeviceSpec.kaveri_apu()
+        small = self._stats(
+            n_waves=1.0,
+            n_workgroups=1.0,
+            longest_dependent_iterations=1000.0,
+            compute_instructions=10.0,
+            memory_lines=10.0,
+        )
+        cycles = dispatch_cycles(small, spec)
+        assert cycles >= 1000 * spec.mem_latency_cycles
+
+    def test_latency_hidden_by_many_waves(self):
+        spec = DeviceSpec.kaveri_apu()
+        big = self._stats(
+            n_waves=10_000.0, longest_dependent_iterations=1000.0
+        )
+        small = self._stats(n_waves=8.0, longest_dependent_iterations=1000.0)
+        assert dispatch_cycles(big, spec) < dispatch_cycles(small, spec)
+
+    def test_workgroup_overhead_added(self):
+        spec = DeviceSpec.kaveri_apu()
+        few = dispatch_cycles(self._stats(n_workgroups=1.0), spec)
+        many = dispatch_cycles(self._stats(n_workgroups=10_000.0), spec)
+        assert many - few >= 9_000 * spec.workgroup_launch_cycles / spec.num_cus * 0.9
+
+    def test_merge_combines(self):
+        a = self._stats()
+        b = self._stats(compute_instructions=500.0, n_waves=10.0)
+        m = a.merge(b)
+        assert m.compute_instructions == 1500.0
+        assert m.n_waves == 110.0
+        assert m.longest_wave_instructions == 10.0
+
+    def test_seconds_positive(self):
+        assert dispatch_seconds(self._stats(), DeviceSpec.kaveri_apu()) > 0

@@ -1,0 +1,106 @@
+"""Tests for Table I feature extraction and the extended feature set."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.features import (
+    EXTENDED_FEATURE_NAMES,
+    FEATURE_NAMES,
+    MatrixFeatures,
+    extract_extended_features,
+    extract_features,
+)
+from repro.formats import CSRMatrix
+from repro.matrices import generators as gen
+
+
+def lengths_matrix(lengths):
+    lengths = np.asarray(lengths, dtype=np.int64)
+    ncols = max(int(lengths.max(initial=1)), 1)
+    return CSRMatrix.from_row_lengths(lengths, ncols,
+                                      rng=np.random.default_rng(0))
+
+
+class TestTable1Features:
+    def test_values(self):
+        m = lengths_matrix([1, 2, 3, 4])
+        f = extract_features(m)
+        assert (f.m, f.n, f.nnz) == (4, 4, 10)
+        assert f.avg_nnz == pytest.approx(2.5)
+        assert f.var_nnz == pytest.approx(1.25)
+        assert (f.min_nnz, f.max_nnz) == (1, 4)
+
+    def test_feature_names_order_matches_paper(self):
+        assert FEATURE_NAMES == (
+            "M", "N", "NNZ", "Var_NNZ", "Avg_NNZ", "Min_NNZ", "Max_NNZ"
+        )
+
+    def test_vector_roundtrip(self):
+        f = extract_features(lengths_matrix([3, 5, 7]))
+        back = MatrixFeatures.from_vector(f.to_vector())
+        assert back == f
+
+    def test_from_vector_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            MatrixFeatures.from_vector(np.zeros(3))
+
+    def test_vector_length_matches_names(self):
+        f = extract_features(CSRMatrix.identity(4))
+        assert f.to_vector().shape == (len(FEATURE_NAMES),)
+
+    def test_empty_matrix(self):
+        f = extract_features(CSRMatrix.empty((0, 5)))
+        assert f.nnz == 0 and f.avg_nnz == 0.0
+
+    @given(st.lists(st.integers(min_value=0, max_value=40),
+                    min_size=1, max_size=50))
+    @settings(max_examples=30, deadline=None)
+    def test_property_consistency(self, lengths):
+        m = lengths_matrix(lengths)
+        f = extract_features(m)
+        assert f.min_nnz <= f.avg_nnz <= f.max_nnz
+        assert f.nnz == sum(lengths)
+        assert f.var_nnz >= 0
+
+
+class TestExtendedFeatures:
+    def test_length_matches_names(self):
+        m = gen.power_law_graph(500, seed=0)
+        vec = extract_extended_features(m)
+        assert vec.shape == (len(EXTENDED_FEATURE_NAMES),)
+
+    def test_prefix_is_table1(self):
+        m = gen.banded(300, avg_nnz=5, seed=1)
+        vec = extract_extended_features(m)
+        np.testing.assert_allclose(
+            vec[: len(FEATURE_NAMES)], extract_features(m).to_vector()
+        )
+
+    def test_histogram_fractions_sum_to_one(self):
+        m = gen.quantum_chemistry_like(800, avg_nnz=50, seed=2)
+        vec = extract_extended_features(m)
+        fracs = vec[len(FEATURE_NAMES) : len(FEATURE_NAMES) + 6]
+        assert fracs.sum() == pytest.approx(1.0)
+
+    def test_uniform_matrix_low_dispersion(self):
+        uniform = lengths_matrix([4] * 100)
+        vec = extract_extended_features(uniform)
+        cv, gini = vec[-2], vec[-1]
+        assert cv == pytest.approx(0.0, abs=1e-9)
+        assert gini == pytest.approx(0.0, abs=1e-9)
+
+    def test_skewed_matrix_high_dispersion(self):
+        skewed = lengths_matrix([1] * 99 + [500])
+        vec = extract_extended_features(skewed)
+        assert vec[-1] > 0.5  # gini
+
+    def test_distinguishes_same_table1_different_shape(self):
+        """Histogram features separate matrices Table I cannot."""
+        # Same M, N, NNZ, avg; different distribution.
+        a = lengths_matrix([2] * 50 + [8] * 50)
+        b = lengths_matrix([5] * 100)
+        va, vb = extract_extended_features(a), extract_extended_features(b)
+        assert not np.allclose(va[len(FEATURE_NAMES):],
+                               vb[len(FEATURE_NAMES):])

@@ -1,0 +1,260 @@
+"""Tests for :class:`repro.formats.csr.CSRMatrix`."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FormatError, ShapeError
+from repro.formats import CSRMatrix
+
+
+def paper_matrix() -> CSRMatrix:
+    """The 4x4 example from the paper's Figure 1."""
+    dense = np.array(
+        [
+            [1, 6, 0, 0],
+            [3, 0, 2, 0],
+            [0, 4, 0, 0],
+            [0, 5, 8, 1],
+        ],
+        dtype=float,
+    )
+    return CSRMatrix.from_dense(dense)
+
+
+csr_strategy = st.builds(
+    lambda m, n, density, seed: _random_csr(m, n, density, seed),
+    st.integers(min_value=1, max_value=30),
+    st.integers(min_value=1, max_value=30),
+    st.floats(min_value=0.0, max_value=0.6),
+    st.integers(min_value=0, max_value=2**31),
+)
+
+
+def _random_csr(m, n, density, seed):
+    rng = np.random.default_rng(seed)
+    dense = rng.standard_normal((m, n))
+    dense[rng.random((m, n)) > density] = 0.0
+    return CSRMatrix.from_dense(dense)
+
+
+class TestConstruction:
+    def test_paper_figure1(self):
+        a = paper_matrix()
+        np.testing.assert_array_equal(a.rowptr, [0, 2, 4, 5, 8])
+        np.testing.assert_array_equal(a.colidx, [0, 1, 0, 2, 1, 1, 2, 3])
+        np.testing.assert_array_equal(a.val, [1, 6, 3, 2, 4, 5, 8, 1])
+        assert a.nnz == 8
+        assert a.shape == (4, 4)
+
+    def test_row_lengths(self):
+        np.testing.assert_array_equal(paper_matrix().row_lengths(), [2, 2, 1, 3])
+
+    def test_identity(self):
+        eye = CSRMatrix.identity(5)
+        np.testing.assert_array_equal(eye.to_dense(), np.eye(5))
+
+    def test_empty(self):
+        z = CSRMatrix.empty((3, 4))
+        assert z.nnz == 0
+        np.testing.assert_array_equal(z.to_dense(), np.zeros((3, 4)))
+
+    def test_rejects_bad_rowptr_start(self):
+        with pytest.raises(FormatError, match="rowptr\\[0\\]"):
+            CSRMatrix(np.array([1, 2]), np.array([0]), np.array([1.0]), (1, 2))
+
+    def test_rejects_decreasing_rowptr(self):
+        with pytest.raises(FormatError, match="monotonically"):
+            CSRMatrix(
+                np.array([0, 2, 1, 3]),
+                np.array([0, 1, 0]),
+                np.ones(3),
+                (3, 2),
+            )
+
+    def test_rejects_rowptr_nnz_mismatch(self):
+        with pytest.raises(FormatError):
+            CSRMatrix(np.array([0, 2]), np.array([0]), np.array([1.0]), (1, 2))
+
+    def test_rejects_colidx_out_of_range(self):
+        with pytest.raises(FormatError, match="column indices"):
+            CSRMatrix(np.array([0, 1]), np.array([5]), np.array([1.0]), (1, 2))
+
+    def test_rejects_negative_colidx(self):
+        with pytest.raises(FormatError):
+            CSRMatrix(np.array([0, 1]), np.array([-1]), np.array([1.0]), (1, 2))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(FormatError):
+            CSRMatrix(np.array([0, 2]), np.array([0, 1]), np.array([1.0]), (1, 2))
+
+    def test_rejects_wrong_rowptr_length(self):
+        with pytest.raises(FormatError):
+            CSRMatrix(np.array([0, 1]), np.array([0]), np.array([1.0]), (2, 2))
+
+    def test_from_coo_sums_duplicates(self):
+        a = CSRMatrix.from_coo_arrays(
+            np.array([0, 0, 1]),
+            np.array([1, 1, 0]),
+            np.array([2.0, 3.0, 4.0]),
+            (2, 2),
+        )
+        assert a.nnz == 2
+        np.testing.assert_array_equal(a.to_dense(), [[0, 5], [4, 0]])
+
+    def test_from_coo_keep_duplicates(self):
+        a = CSRMatrix.from_coo_arrays(
+            np.array([0, 0]),
+            np.array([1, 1]),
+            np.array([2.0, 3.0]),
+            (2, 2),
+            sum_duplicates=False,
+        )
+        assert a.nnz == 2
+        np.testing.assert_array_equal(a.to_dense(), [[0, 5], [0, 0]])
+
+    def test_from_coo_rejects_out_of_range(self):
+        with pytest.raises(FormatError):
+            CSRMatrix.from_coo_arrays(
+                np.array([5]), np.array([0]), np.array([1.0]), (2, 2)
+            )
+
+    def test_from_dense_rejects_1d(self):
+        with pytest.raises(FormatError):
+            CSRMatrix.from_dense(np.ones(3))
+
+
+class TestFromRowLengths:
+    def test_shape_and_lengths(self):
+        rng = np.random.default_rng(0)
+        lengths = np.array([0, 3, 7, 1, 0, 10])
+        a = CSRMatrix.from_row_lengths(lengths, 10, rng=rng)
+        np.testing.assert_array_equal(a.row_lengths(), lengths)
+        assert a.shape == (6, 10)
+
+    def test_columns_distinct_and_sorted(self):
+        rng = np.random.default_rng(1)
+        lengths = np.full(50, 8)
+        a = CSRMatrix.from_row_lengths(lengths, 20, rng=rng)
+        for i in range(a.nrows):
+            cols = a.colidx[a.rowptr[i] : a.rowptr[i + 1]]
+            assert np.all(np.diff(cols) > 0), f"row {i} not strictly increasing"
+            assert cols.min() >= 0 and cols.max() < 20
+
+    def test_full_rows(self):
+        rng = np.random.default_rng(2)
+        a = CSRMatrix.from_row_lengths(np.array([5, 5]), 5, rng=rng)
+        np.testing.assert_array_equal(
+            a.colidx.reshape(2, 5), [[0, 1, 2, 3, 4]] * 2
+        )
+
+    def test_rejects_length_exceeding_ncols(self):
+        with pytest.raises(FormatError):
+            CSRMatrix.from_row_lengths(
+                np.array([6]), 5, rng=np.random.default_rng(0)
+            )
+
+    def test_rejects_negative_lengths(self):
+        with pytest.raises(FormatError):
+            CSRMatrix.from_row_lengths(
+                np.array([-1]), 5, rng=np.random.default_rng(0)
+            )
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=15), min_size=1, max_size=40),
+        st.integers(min_value=15, max_value=60),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=40)
+    def test_property_distinct_sorted(self, lengths, ncols, seed):
+        rng = np.random.default_rng(seed)
+        arr = np.array(lengths)
+        a = CSRMatrix.from_row_lengths(arr, ncols, rng=rng)
+        np.testing.assert_array_equal(a.row_lengths(), arr)
+        for i in range(a.nrows):
+            cols = a.colidx[a.rowptr[i] : a.rowptr[i + 1]]
+            if len(cols) > 1:
+                assert np.all(np.diff(cols) > 0)
+
+
+class TestMatvec:
+    def test_paper_example(self):
+        a = paper_matrix()
+        v = np.array([1.0, 2.0, 3.0, 4.0])
+        expected = a.to_dense() @ v
+        np.testing.assert_allclose(a.matvec_reference(v), expected)
+
+    def test_matmul_operator(self):
+        a = paper_matrix()
+        v = np.ones(4)
+        np.testing.assert_allclose(a @ v, a.matvec_reference(v))
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ShapeError):
+            paper_matrix().matvec_reference(np.ones(3))
+
+    def test_empty_matrix(self):
+        z = CSRMatrix.empty((3, 4))
+        np.testing.assert_array_equal(z @ np.ones(4), np.zeros(3))
+
+    @given(csr_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_matches_scipy(self, a):
+        v = np.random.default_rng(0).standard_normal(a.ncols)
+        np.testing.assert_allclose(
+            a.matvec_reference(v), a.to_scipy() @ v, atol=1e-10
+        )
+
+
+class TestStructuralOps:
+    def test_select_rows(self):
+        a = paper_matrix()
+        sub = a.select_rows(np.array([3, 0]))
+        np.testing.assert_array_equal(
+            sub.to_dense(), a.to_dense()[[3, 0]]
+        )
+
+    def test_select_rows_empty_selection(self):
+        sub = paper_matrix().select_rows(np.array([], dtype=np.int64))
+        assert sub.shape == (0, 4)
+        assert sub.nnz == 0
+
+    def test_select_rows_out_of_range(self):
+        with pytest.raises(ShapeError):
+            paper_matrix().select_rows(np.array([4]))
+
+    def test_transpose(self):
+        a = paper_matrix()
+        np.testing.assert_array_equal(a.transpose().to_dense(), a.to_dense().T)
+
+    def test_transpose_involution(self):
+        a = paper_matrix()
+        assert a.transpose().transpose().equals(a)
+
+    def test_has_sorted_columns(self):
+        assert paper_matrix().has_sorted_columns()
+
+    def test_has_sorted_columns_false(self):
+        a = CSRMatrix(
+            np.array([0, 2]), np.array([1, 0]), np.array([1.0, 2.0]), (1, 2)
+        )
+        assert not a.has_sorted_columns()
+
+    def test_equals_tolerance(self):
+        a = paper_matrix()
+        b = CSRMatrix(a.rowptr, a.colidx, a.val + 1e-12, a.shape)
+        assert not a.equals(b)
+        assert a.equals(b, tol=1e-9)
+
+    def test_equals_shape_mismatch(self):
+        assert not paper_matrix().equals(CSRMatrix.identity(4))
+
+    def test_scipy_roundtrip(self):
+        a = paper_matrix()
+        assert CSRMatrix.from_scipy(a.to_scipy()).equals(a)
+
+    @given(csr_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_transpose_property(self, a):
+        np.testing.assert_allclose(a.transpose().to_dense(), a.to_dense().T)

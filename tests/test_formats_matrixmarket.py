@@ -1,0 +1,198 @@
+"""Tests for the Matrix Market reader/writer."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import MatrixMarketError
+from repro.formats import CSRMatrix, read_matrix_market, write_matrix_market
+
+
+def read_str(text: str) -> CSRMatrix:
+    return read_matrix_market(io.StringIO(text))
+
+
+class TestReadCoordinate:
+    def test_general_real(self):
+        a = read_str(
+            """%%MatrixMarket matrix coordinate real general
+% a comment
+3 3 2
+1 1 2.5
+3 2 -1.0
+"""
+        )
+        dense = np.zeros((3, 3))
+        dense[0, 0] = 2.5
+        dense[2, 1] = -1.0
+        np.testing.assert_array_equal(a.to_dense(), dense)
+
+    def test_pattern(self):
+        a = read_str(
+            """%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 2
+2 1
+"""
+        )
+        np.testing.assert_array_equal(a.to_dense(), [[0, 1], [1, 0]])
+
+    def test_symmetric_mirrors_off_diagonal(self):
+        a = read_str(
+            """%%MatrixMarket matrix coordinate real symmetric
+3 3 3
+1 1 1.0
+2 1 2.0
+3 3 3.0
+"""
+        )
+        expected = np.array([[1, 2, 0], [2, 0, 0], [0, 0, 3.0]])
+        np.testing.assert_array_equal(a.to_dense(), expected)
+
+    def test_skew_symmetric(self):
+        a = read_str(
+            """%%MatrixMarket matrix coordinate real skew-symmetric
+2 2 1
+2 1 5.0
+"""
+        )
+        np.testing.assert_array_equal(a.to_dense(), [[0, -5], [5, 0]])
+
+    def test_integer_field(self):
+        a = read_str(
+            """%%MatrixMarket matrix coordinate integer general
+1 2 1
+1 2 7
+"""
+        )
+        np.testing.assert_array_equal(a.to_dense(), [[0, 7.0]])
+
+    def test_duplicates_summed(self):
+        a = read_str(
+            """%%MatrixMarket matrix coordinate real general
+1 1 2
+1 1 1.0
+1 1 2.0
+"""
+        )
+        np.testing.assert_array_equal(a.to_dense(), [[3.0]])
+
+    def test_too_few_entries_raises(self):
+        with pytest.raises(MatrixMarketError, match="expected 2 entries"):
+            read_str(
+                """%%MatrixMarket matrix coordinate real general
+1 1 2
+1 1 1.0
+"""
+            )
+
+    def test_too_many_entries_raises(self):
+        with pytest.raises(MatrixMarketError, match="more than"):
+            read_str(
+                """%%MatrixMarket matrix coordinate real general
+1 1 1
+1 1 1.0
+1 1 2.0
+"""
+            )
+
+    def test_bad_entry_line(self):
+        with pytest.raises(MatrixMarketError, match="bad entry"):
+            read_str(
+                """%%MatrixMarket matrix coordinate real general
+1 1 1
+1 x 1.0
+"""
+            )
+
+
+class TestReadHeaderErrors:
+    def test_missing_banner(self):
+        with pytest.raises(MatrixMarketError, match="bad header"):
+            read_str("1 1 0\n")
+
+    def test_unsupported_field(self):
+        with pytest.raises(MatrixMarketError, match="unsupported field"):
+            read_str("%%MatrixMarket matrix coordinate complex general\n1 1 0\n")
+
+    def test_unsupported_object(self):
+        with pytest.raises(MatrixMarketError):
+            read_str("%%MatrixMarket vector coordinate real general\n1 1 0\n")
+
+    def test_unsupported_symmetry(self):
+        with pytest.raises(MatrixMarketError, match="unsupported symmetry"):
+            read_str("%%MatrixMarket matrix coordinate real hermitian\n1 1 0\n")
+
+    def test_array_pattern_rejected(self):
+        with pytest.raises(MatrixMarketError, match="array format cannot"):
+            read_str("%%MatrixMarket matrix array pattern general\n1 1\n")
+
+    def test_missing_size_line(self):
+        with pytest.raises(MatrixMarketError, match="missing size"):
+            read_str("%%MatrixMarket matrix coordinate real general\n%only comment\n")
+
+    def test_bad_size_line(self):
+        with pytest.raises(MatrixMarketError, match="bad coordinate size"):
+            read_str("%%MatrixMarket matrix coordinate real general\n1 1\n")
+
+
+class TestReadArray:
+    def test_general_column_major(self):
+        a = read_str(
+            """%%MatrixMarket matrix array real general
+2 2
+1.0
+2.0
+3.0
+4.0
+"""
+        )
+        np.testing.assert_array_equal(a.to_dense(), [[1, 3], [2, 4]])
+
+    def test_symmetric_lower_triangle(self):
+        a = read_str(
+            """%%MatrixMarket matrix array real symmetric
+2 2
+1.0
+2.0
+3.0
+"""
+        )
+        np.testing.assert_array_equal(a.to_dense(), [[1, 2], [2, 3]])
+
+    def test_wrong_count(self):
+        with pytest.raises(MatrixMarketError, match="expected 4"):
+            read_str(
+                """%%MatrixMarket matrix array real general
+2 2
+1.0
+"""
+            )
+
+
+class TestWriteRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(0)
+        dense = rng.standard_normal((6, 5))
+        dense[rng.random((6, 5)) > 0.4] = 0.0
+        a = CSRMatrix.from_dense(dense)
+        path = tmp_path / "m.mtx"
+        write_matrix_market(a, path, comment="roundtrip test")
+        b = read_matrix_market(path)
+        assert b.equals(a)
+
+    def test_roundtrip_stream(self):
+        a = CSRMatrix.identity(4)
+        buf = io.StringIO()
+        write_matrix_market(a, buf)
+        buf.seek(0)
+        assert read_matrix_market(buf).equals(a)
+
+    def test_writes_exact_values(self):
+        a = CSRMatrix.from_dense(np.array([[0.1 + 0.2]]))
+        buf = io.StringIO()
+        write_matrix_market(a, buf)
+        buf.seek(0)
+        b = read_matrix_market(buf)
+        assert b.val[0] == a.val[0]  # repr round-trip preserves bits

@@ -1,0 +1,219 @@
+"""Tests for COO / ELL / DIA / HYB containers and format conversions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FormatError, ShapeError
+from repro.formats import (
+    COOMatrix,
+    CSRMatrix,
+    DIAMatrix,
+    ELLMatrix,
+    HYBMatrix,
+    convert,
+)
+from repro.formats.hyb import choose_hyb_width
+
+
+def _random_csr(m, n, density, seed):
+    rng = np.random.default_rng(seed)
+    dense = rng.standard_normal((m, n))
+    dense[rng.random((m, n)) > density] = 0.0
+    return CSRMatrix.from_dense(dense)
+
+
+csr_strategy = st.builds(
+    _random_csr,
+    st.integers(min_value=1, max_value=20),
+    st.integers(min_value=1, max_value=20),
+    st.floats(min_value=0.05, max_value=0.7),
+    st.integers(min_value=0, max_value=2**31),
+)
+
+
+class TestCOO:
+    def test_roundtrip(self):
+        a = _random_csr(8, 9, 0.3, 0)
+        assert COOMatrix.from_csr(a).to_csr().equals(a)
+
+    def test_matvec_matches_csr(self):
+        a = _random_csr(10, 7, 0.4, 1)
+        coo = COOMatrix.from_csr(a)
+        v = np.random.default_rng(2).standard_normal(7)
+        np.testing.assert_allclose(coo.matvec(v), a @ v, atol=1e-12)
+
+    def test_duplicates_accumulate(self):
+        coo = COOMatrix(
+            np.array([0, 0]), np.array([0, 0]), np.array([1.0, 2.0]), (1, 1)
+        )
+        assert coo.nnz == 2
+        np.testing.assert_array_equal(coo.to_dense(), [[3.0]])
+        assert coo.to_csr().nnz == 1
+
+    def test_rejects_mismatched_arrays(self):
+        with pytest.raises(FormatError):
+            COOMatrix(np.array([0]), np.array([0, 1]), np.array([1.0]), (1, 2))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(FormatError):
+            COOMatrix(np.array([2]), np.array([0]), np.array([1.0]), (2, 2))
+
+    def test_matvec_rejects_bad_vector(self):
+        coo = COOMatrix(np.array([0]), np.array([0]), np.array([1.0]), (1, 2))
+        with pytest.raises(ShapeError):
+            coo.matvec(np.ones(3))
+
+
+class TestELL:
+    def test_roundtrip(self):
+        a = _random_csr(8, 9, 0.3, 3)
+        assert ELLMatrix.from_csr(a).to_csr().equals(a)
+
+    def test_width_is_max_row_length(self):
+        a = _random_csr(8, 9, 0.3, 4)
+        ell = ELLMatrix.from_csr(a)
+        assert ell.width == int(a.row_lengths().max())
+
+    def test_matvec(self):
+        a = _random_csr(12, 10, 0.4, 5)
+        v = np.random.default_rng(6).standard_normal(10)
+        np.testing.assert_allclose(ELLMatrix.from_csr(a).matvec(v), a @ v, atol=1e-12)
+
+    def test_padding_ratio(self):
+        a = CSRMatrix.from_dense(np.array([[1.0, 1.0], [1.0, 0.0]]))
+        ell = ELLMatrix.from_csr(a)
+        assert ell.padding_ratio == pytest.approx(0.25)
+
+    def test_empty_matrix(self):
+        ell = ELLMatrix.from_csr(CSRMatrix.empty((3, 3)))
+        assert ell.width == 0
+        np.testing.assert_array_equal(ell.matvec(np.ones(3)), np.zeros(3))
+
+    def test_max_width_cap_rejected(self):
+        a = CSRMatrix.from_dense(np.ones((2, 4)))
+        with pytest.raises(FormatError, match="HYB"):
+            ELLMatrix.from_csr(a, max_width=2)
+
+    def test_nnz_excludes_padding(self):
+        a = _random_csr(6, 6, 0.3, 7)
+        assert ELLMatrix.from_csr(a).nnz == a.nnz
+
+    def test_rejects_bad_padding_marker(self):
+        with pytest.raises(FormatError):
+            ELLMatrix(np.array([[-2]]), np.array([[0.0]]), (1, 1))
+
+
+class TestDIA:
+    def test_tridiagonal_roundtrip(self):
+        n = 10
+        dense = (
+            np.diag(np.full(n, 2.0))
+            + np.diag(np.full(n - 1, -1.0), 1)
+            + np.diag(np.full(n - 1, -1.0), -1)
+        )
+        a = CSRMatrix.from_dense(dense)
+        dia = DIAMatrix.from_csr(a)
+        assert dia.ndiags == 3
+        np.testing.assert_array_equal(sorted(dia.offsets), [-1, 0, 1])
+        assert dia.to_csr().equals(a)
+
+    def test_matvec(self):
+        n = 8
+        dense = np.diag(np.arange(1.0, n + 1)) + np.diag(np.ones(n - 2), 2)
+        a = CSRMatrix.from_dense(dense)
+        v = np.random.default_rng(0).standard_normal(n)
+        np.testing.assert_allclose(DIAMatrix.from_csr(a).matvec(v), dense @ v)
+
+    def test_max_diags_guard(self):
+        a = _random_csr(10, 10, 0.5, 8)
+        with pytest.raises(FormatError, match="diagonals"):
+            DIAMatrix.from_csr(a, max_diags=2)
+
+    def test_rectangular(self):
+        dense = np.zeros((3, 5))
+        dense[0, 2] = 4.0
+        dense[2, 4] = 5.0
+        a = CSRMatrix.from_dense(dense)
+        dia = DIAMatrix.from_csr(a)
+        np.testing.assert_array_equal(dia.to_dense(), dense)
+
+    def test_rejects_duplicate_offsets(self):
+        with pytest.raises(FormatError):
+            DIAMatrix(np.array([0, 0]), np.zeros((2, 3)), (3, 3))
+
+
+class TestHYB:
+    def test_roundtrip(self):
+        a = _random_csr(15, 12, 0.4, 9)
+        assert HYBMatrix.from_csr(a, width=2).to_csr().equals(a)
+
+    def test_matvec(self):
+        a = _random_csr(15, 12, 0.4, 10)
+        v = np.random.default_rng(11).standard_normal(12)
+        hyb = HYBMatrix.from_csr(a)
+        np.testing.assert_allclose(hyb.matvec(v), a @ v, atol=1e-12)
+
+    def test_nnz_conserved(self):
+        a = _random_csr(20, 20, 0.3, 12)
+        hyb = HYBMatrix.from_csr(a, width=3)
+        assert hyb.nnz == a.nnz
+
+    def test_width_zero_all_spill(self):
+        a = _random_csr(5, 5, 0.5, 13)
+        hyb = HYBMatrix.from_csr(a, width=0)
+        assert hyb.spill_ratio == pytest.approx(1.0 if a.nnz else 0.0)
+
+    def test_choose_width_covers_quantile(self):
+        lengths = np.array([1, 1, 1, 10])
+        k = choose_hyb_width(lengths, coverage=0.75)
+        assert k == 1
+
+    def test_choose_width_empty(self):
+        assert choose_hyb_width(np.array([])) == 0
+
+    def test_choose_width_rejects_bad_coverage(self):
+        with pytest.raises(ValueError):
+            choose_hyb_width(np.array([1]), coverage=0.0)
+
+    def test_empty_matrix(self):
+        hyb = HYBMatrix.from_csr(CSRMatrix.empty((4, 4)))
+        np.testing.assert_array_equal(hyb.matvec(np.ones(4)), np.zeros(4))
+
+
+class TestConvert:
+    @pytest.mark.parametrize("target", ["coo", "ell", "hyb", "csr"])
+    def test_roundtrip_through_format(self, target):
+        a = _random_csr(10, 11, 0.3, 14)
+        other = convert(a, target)
+        back = convert(other, "csr")
+        assert back.equals(a)
+
+    def test_convert_dia(self):
+        dense = np.diag(np.arange(1.0, 6.0))
+        a = CSRMatrix.from_dense(dense)
+        dia = convert(a, "dia")
+        assert isinstance(dia, DIAMatrix)
+        assert convert(dia, CSRMatrix).equals(a)
+
+    def test_identity_conversion_returns_same_object(self):
+        a = _random_csr(4, 4, 0.5, 15)
+        assert convert(a, "csr") is a
+
+    def test_unknown_format(self):
+        with pytest.raises(FormatError, match="unknown format"):
+            convert(CSRMatrix.identity(2), "bsr")
+
+    def test_unsupported_class(self):
+        with pytest.raises(FormatError):
+            convert(CSRMatrix.identity(2), dict)
+
+    @given(csr_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_all_formats_same_matvec(self, a):
+        v = np.random.default_rng(0).standard_normal(a.ncols)
+        expected = a @ v
+        for fmt in ["coo", "ell", "hyb"]:
+            out = convert(a, fmt).matvec(v)
+            np.testing.assert_allclose(out, expected, atol=1e-10)

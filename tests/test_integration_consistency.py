@@ -1,0 +1,150 @@
+"""Cross-module consistency invariants.
+
+These integration tests pin down relationships *between* subsystems that
+no single module's unit tests can see: planner time accounting vs the
+executor's, oracle optimality vs raw evaluations, binning vs kernels vs
+the device model.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.binning import CoarseBinning, SingleBinning
+from repro.core import AutoTuner, TuningSpace, oracle_plan
+from repro.core.training import evaluate_matrix
+from repro.device import SimulatedDevice
+from repro.device.memory import effective_gather_locality
+from repro.kernels import get_kernel
+from repro.matrices import bimodal_rows, generate_collection
+from repro.matrices import generators as gen
+
+DEVICE = SimulatedDevice()
+SPACE = TuningSpace(
+    granularities=(10, 100, 10_000),
+    kernel_names=("serial", "subvector4", "subvector32", "vector"),
+)
+
+
+@pytest.fixture(scope="module")
+def tuner():
+    t = AutoTuner(device=DEVICE, space=SPACE, classifier="tree", seed=0)
+    t.fit(generate_collection(20, seed=0, size_range=(500, 5_000)))
+    return t
+
+
+class TestTimeAccountingConsistency:
+    def test_plan_seconds_matches_executor(self, tuner):
+        """The planner's predicted seconds equal what the executor
+        accounts when running the same plan (same cost model both ways)."""
+        for seed in range(3):
+            m = bimodal_rows(4_000, seed=seed)
+            plan = tuner.plan(m)
+            result = tuner.run(m, np.ones(m.ncols), plan=plan)
+            assert result.seconds == pytest.approx(
+                plan.predicted_seconds, rel=1e-9
+            )
+
+    def test_oracle_seconds_match_evaluations(self):
+        m = gen.fem_constrained(8_000, avg_nnz=5, dense_len=200,
+                                dense_fraction=0.05, seed=1)
+        plan = oracle_plan(m, DEVICE, SPACE)
+        evals = evaluate_matrix(m, DEVICE, SPACE)
+        assert plan.predicted_seconds == pytest.approx(
+            min(e.total_seconds for e in evals), rel=1e-12
+        )
+
+    def test_single_bin_equals_single_kernel_baseline(self):
+        """Running the single-bin scheme with kernel K costs exactly the
+        SingleKernelSpMV(K) baseline (same dispatch, same launch)."""
+        from repro.baselines import SingleKernelSpMV
+
+        m = gen.road_network(6_000, seed=2)
+        binning = SingleBinning().bin_rows(m)
+        kernel = get_kernel("subvector4")
+        result = DEVICE.run_spmv(
+            m, np.ones(m.ncols), [(kernel, binning.bins[0])]
+        )
+        baseline = SingleKernelSpMV("subvector4", DEVICE).time(m)
+        assert result.seconds == pytest.approx(baseline, rel=1e-9)
+
+
+class TestCostModelInvariants:
+    """Sanity invariants every kernel cost model must satisfy."""
+
+    LENGTH_PATTERNS = {
+        "uniform-short": np.full(5_000, 3),
+        "uniform-long": np.full(500, 400),
+        "mixed": np.concatenate([np.full(4_000, 2), np.full(200, 300)]),
+    }
+
+    @pytest.mark.parametrize("pattern", list(LENGTH_PATTERNS))
+    @pytest.mark.parametrize(
+        "kernel", ["serial", "subvector2", "subvector16", "vector"]
+    )
+    def test_splitting_a_bin_never_reduces_kernel_work(self, pattern, kernel):
+        """Dispatch cost is superadditive-ish: splitting one bin into two
+        (excluding launch costs) cannot cut the total by more than the
+        windowing slack."""
+        lengths = self.LENGTH_PATTERNS[pattern]
+        k = get_kernel(kernel)
+        whole = DEVICE.time_dispatch(k, lengths, 0.8, include_launch=False)
+        half = len(lengths) // 2
+        parts = DEVICE.time_dispatch(
+            k, lengths[:half], 0.8, include_launch=False
+        ) + DEVICE.time_dispatch(k, lengths[half:], 0.8, include_launch=False)
+        assert parts > 0.8 * whole
+
+    @pytest.mark.parametrize(
+        "kernel", ["serial", "subvector8", "subvector64", "vector"]
+    )
+    def test_doubling_rows_roughly_doubles_time(self, kernel):
+        k = get_kernel(kernel)
+        base = np.full(20_000, 16)
+        t1 = DEVICE.time_dispatch(k, base, 0.8, include_launch=False)
+        t2 = DEVICE.time_dispatch(k, np.tile(base, 2), 0.8,
+                                  include_launch=False)
+        assert 1.6 < t2 / t1 < 2.4
+
+    @given(
+        st.integers(min_value=1, max_value=400),
+        st.integers(min_value=64, max_value=5_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_all_kernels_positive_finite(self, length, rows):
+        lengths = np.full(rows, length)
+        for name in SPACE.kernel_names:
+            t = DEVICE.time_dispatch(get_kernel(name), lengths, 0.5)
+            assert np.isfinite(t) and t > 0
+
+
+class TestBinningKernelInteraction:
+    def test_binned_rows_keep_matrix_semantics(self):
+        """Whatever the binning, executing any kernel per bin reproduces
+        the reference result (full pipeline property)."""
+        rng = np.random.default_rng(3)
+        m = gen.quantum_chemistry_like(2_000, avg_nnz=30, seed=3)
+        v = rng.standard_normal(m.ncols)
+        expected = m @ v
+        for u in (10, 100, 100_000):
+            binning = CoarseBinning(u).bin_rows(m)
+            dispatches = [
+                (get_kernel(SPACE.kernel_names[b % len(SPACE.kernel_names)]),
+                 rows)
+                for b, rows in binning.non_empty()
+            ]
+            result = DEVICE.run_spmv(m, v, dispatches)
+            np.testing.assert_allclose(result.u, expected, atol=1e-8)
+
+    def test_locality_passed_consistently(self):
+        """Executor and planner agree on the effective gather locality."""
+        m = gen.banded(3_000, avg_nnz=6, seed=4)
+        g = effective_gather_locality(m, DEVICE.spec)
+        kernel = get_kernel("subvector4")
+        rows = np.arange(m.nrows)
+        explicit = DEVICE.run_spmv(
+            m, np.ones(m.ncols), [(kernel, rows)], locality=g
+        )
+        implicit = DEVICE.run_spmv(m, np.ones(m.ncols), [(kernel, rows)])
+        assert explicit.seconds == pytest.approx(implicit.seconds, rel=1e-12)

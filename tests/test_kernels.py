@@ -1,0 +1,215 @@
+"""Tests for the nine-kernel pool: correctness (fast + emulated) and the
+qualitative shape of the cost models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device import DeviceSpec, SimulatedDevice, gather_locality
+from repro.errors import KernelError
+from repro.formats import CSRMatrix
+from repro.kernels import (
+    DEFAULT_KERNEL_NAMES,
+    SubvectorKernel,
+    get_kernel,
+    kernel_registry,
+)
+from repro.kernels.base import pad_reshape, row_products
+from repro.matrices import generators as gen
+
+SPEC = DeviceSpec.kaveri_apu()
+DEV = SimulatedDevice(SPEC)
+
+
+def _random_csr(m, n, density, seed):
+    rng = np.random.default_rng(seed)
+    dense = rng.standard_normal((m, n))
+    dense[rng.random((m, n)) > density] = 0.0
+    return CSRMatrix.from_dense(dense)
+
+
+class TestRegistry:
+    def test_nine_kernels(self):
+        assert len(DEFAULT_KERNEL_NAMES) == 9
+
+    def test_names(self):
+        assert DEFAULT_KERNEL_NAMES[0] == "serial"
+        assert DEFAULT_KERNEL_NAMES[-1] == "vector"
+        assert "subvector16" in DEFAULT_KERNEL_NAMES
+
+    def test_get_kernel_unknown(self):
+        with pytest.raises(KernelError, match="unknown kernel"):
+            get_kernel("warp")
+
+    def test_registry_copy_is_fresh(self):
+        r = kernel_registry()
+        r.pop("serial")
+        assert "serial" in kernel_registry()
+
+    def test_subvector_rejects_bad_width(self):
+        with pytest.raises(KernelError):
+            SubvectorKernel(3)
+        with pytest.raises(KernelError):
+            SubvectorKernel(1)
+
+
+class TestHelpers:
+    def test_row_products_values(self):
+        m = CSRMatrix.from_dense(np.array([[1.0, 2.0], [0.0, 3.0]]))
+        v = np.array([10.0, 100.0])
+        prods, offsets = row_products(m, v, np.array([1, 0]))
+        np.testing.assert_allclose(prods, [300.0, 10.0, 200.0])
+        np.testing.assert_array_equal(offsets, [0, 1, 3])
+
+    def test_row_products_empty_selection(self):
+        m = CSRMatrix.identity(3)
+        prods, offsets = row_products(m, np.ones(3), np.array([], dtype=np.int64))
+        assert len(prods) == 0
+        np.testing.assert_array_equal(offsets, [0])
+
+    def test_pad_reshape(self):
+        out = pad_reshape(np.array([1, 2, 3]), 2)
+        np.testing.assert_array_equal(out, [[1, 2], [3, 0]])
+
+    def test_pad_reshape_empty(self):
+        assert pad_reshape(np.array([]), 4).shape == (0, 4)
+
+    def test_pad_reshape_rejects_zero_width(self):
+        with pytest.raises(KernelError):
+            pad_reshape(np.array([1]), 0)
+
+
+class TestCorrectness:
+    @pytest.fixture(scope="class")
+    def problem(self):
+        m = gen.quantum_chemistry_like(400, avg_nnz=40, seed=7)
+        v = np.random.default_rng(1).standard_normal(m.ncols)
+        return m, v, m @ v
+
+    @pytest.mark.parametrize("name", DEFAULT_KERNEL_NAMES)
+    def test_fast_path_matches_reference(self, name, problem):
+        m, v, ref = problem
+        rows = np.arange(m.nrows)
+        out = get_kernel(name).compute(m, v, rows)
+        np.testing.assert_allclose(out, ref, atol=1e-9)
+
+    @pytest.mark.parametrize("name", DEFAULT_KERNEL_NAMES)
+    def test_emulated_path_matches_reference(self, name, problem):
+        m, v, ref = problem
+        rows = np.arange(0, 40)  # emulation is slow; subset suffices
+        out = get_kernel(name).compute(m, v, rows, emulate=True)
+        np.testing.assert_allclose(out, ref[rows], atol=1e-9)
+
+    @pytest.mark.parametrize("name", ["serial", "subvector8", "vector"])
+    def test_subset_and_permuted_rows(self, name, problem):
+        m, v, ref = problem
+        rows = np.array([5, 0, 17, 3])
+        out = get_kernel(name).compute(m, v, rows)
+        np.testing.assert_allclose(out, ref[rows], atol=1e-9)
+
+    def test_rows_with_zero_length(self):
+        m = CSRMatrix.from_dense(np.array([[0.0, 0.0], [1.0, 2.0]]))
+        v = np.array([3.0, 4.0])
+        for name in DEFAULT_KERNEL_NAMES:
+            out = get_kernel(name).compute(m, v, np.array([0, 1]))
+            np.testing.assert_allclose(out, [0.0, 11.0])
+
+    @given(
+        st.integers(min_value=1, max_value=25),
+        st.integers(min_value=1, max_value=25),
+        st.floats(min_value=0.05, max_value=0.8),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_all_kernels_agree(self, m, n, density, seed):
+        a = _random_csr(m, n, density, seed)
+        v = np.random.default_rng(seed ^ 0xABC).standard_normal(n)
+        ref = a @ v
+        rows = np.arange(m)
+        for name in DEFAULT_KERNEL_NAMES:
+            out = get_kernel(name).compute(a, v, rows)
+            np.testing.assert_allclose(out, ref, atol=1e-9)
+
+
+class TestCostShape:
+    """The qualitative landscape the paper's Figure 2 illustrates."""
+
+    def _times(self, matrix):
+        lengths = matrix.row_lengths()
+        g = gather_locality(matrix)
+        return {
+            name: DEV.time_dispatch(get_kernel(name), lengths, g)
+            for name in DEFAULT_KERNEL_NAMES
+        }
+
+    def test_serial_wins_unit_rows(self):
+        m = gen.single_entry_rows(50_000, seed=0)
+        times = self._times(m)
+        assert min(times, key=times.get) == "serial"
+
+    def test_narrow_subvector_wins_short_rows(self):
+        """2-3 nnz/row (road networks): subvector2/4 beat serial via
+        coalescing -- the paper's tuner's universal win over serial."""
+        m = gen.road_network(50_000, seed=0)
+        times = self._times(m)
+        assert min(times, key=times.get) in ("subvector2", "subvector4")
+        assert times["serial"] > times[min(times, key=times.get)]
+
+    def test_wide_kernels_win_long_rows(self):
+        m = gen.cfd_like(3_000, avg_nnz=900, spread=100, seed=1)
+        times = self._times(m)
+        best = min(times, key=times.get)
+        assert best not in ("serial", "subvector2", "subvector4")
+        assert times["serial"] > 1.5 * times[best]
+        # the whole wide family is within ~20 % of the winner
+        assert times["vector"] < 1.2 * times[best]
+
+    def test_subvector_wins_medium_rows(self):
+        m = gen.cfd_like(30_000, avg_nnz=60, spread=25, seed=2)
+        times = self._times(m)
+        best = min(times, key=times.get)
+        assert best.startswith("subvector")
+
+    def test_vector_terrible_on_short_rows(self):
+        m = gen.single_entry_rows(100_000, seed=3)
+        times = self._times(m)
+        assert times["vector"] > 10 * times["serial"]
+
+    def test_divergence_penalises_serial(self):
+        """Mixed-length bins hurt serial more than homogeneous ones."""
+        rng = np.random.default_rng(0)
+        uniform = np.full(10_000, 64)
+        # Same total nnz, but 5 % of rows are 10x longer (shuffled so each
+        # wavefront likely contains one straggler).
+        mixed = np.where(rng.random(10_000) < 0.05, 640, 34)
+        serial = get_kernel("serial")
+        t_uniform = DEV.time_dispatch(serial, uniform, 0.5)
+        t_mixed = DEV.time_dispatch(serial, mixed, 0.5)
+        assert t_mixed > t_uniform  # same-ish nnz, worse balance
+
+    def test_empty_bin_costs_nothing(self):
+        for name in DEFAULT_KERNEL_NAMES:
+            stats = get_kernel(name).cost(np.zeros(0), 0.5, SPEC)
+            assert stats.n_waves == 0
+
+    def test_cost_monotone_in_rows(self):
+        serial = get_kernel("serial")
+        t1 = DEV.time_dispatch(serial, np.full(1_000, 5), 0.5)
+        t2 = DEV.time_dispatch(serial, np.full(100_000, 5), 0.5)
+        assert t2 > t1
+
+    def test_locality_reduces_cost(self):
+        k = get_kernel("subvector16")
+        lengths = np.full(20_000, 50)
+        assert DEV.time_dispatch(k, lengths, 1.0) < DEV.time_dispatch(
+            k, lengths, 0.0
+        )
+
+    @pytest.mark.parametrize("name", DEFAULT_KERNEL_NAMES)
+    def test_stats_fields_consistent(self, name):
+        stats = get_kernel(name).cost(np.full(5_000, 20), 0.5, SPEC)
+        assert stats.n_waves > 0
+        assert stats.n_workgroups > 0
+        assert stats.compute_instructions >= stats.longest_wave_instructions
+        assert stats.memory_lines > 0

@@ -1,0 +1,265 @@
+"""Tests for matrix generators, representative set, collection and stats."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import CSRMatrix
+from repro.matrices import (
+    REPRESENTATIVE_NAMES,
+    CollectionSpec,
+    RowStats,
+    banded,
+    bimodal_rows,
+    cfd_like,
+    combinatorial_incidence,
+    dense_row_outliers,
+    generate_collection,
+    mesh_dual,
+    power_law_graph,
+    quantum_chemistry_like,
+    random_uniform,
+    representative_matrix,
+    representative_specs,
+    road_network,
+    single_entry_rows,
+    stencil_2d,
+)
+from repro.matrices.stats import FIGURE5_BUCKETS, row_length_histogram
+
+
+class TestGenerators:
+    def test_banded_avg_and_locality(self):
+        m = banded(3_000, avg_nnz=7.0, spread=1.0, seed=0)
+        stats = RowStats.from_matrix(m)
+        assert 6.0 < stats.avg_nnz < 8.0
+        assert m.has_sorted_columns()
+
+    def test_banded_rectangular(self):
+        m = banded(100, ncols=50, avg_nnz=5, seed=1)
+        assert m.shape == (100, 50)
+
+    def test_stencil_2d_five_point(self):
+        m = stencil_2d(4, 5, points=5)
+        assert m.shape == (20, 20)
+        # Interior points have 5 entries, corners 3.
+        lengths = m.row_lengths()
+        assert lengths.max() == 5
+        assert lengths.min() == 3
+
+    def test_stencil_2d_nine_point(self):
+        m = stencil_2d(5, 5, points=9)
+        assert m.row_lengths().max() == 9
+
+    def test_stencil_rejects_bad_points(self):
+        with pytest.raises(ValueError):
+            stencil_2d(3, 3, points=7)
+
+    def test_stencil_laplacian_rowsums_zero_interior(self):
+        m = stencil_2d(6, 6, points=5)
+        rowsums = m @ np.ones(36)
+        # interior rows: 4 - 4 = 0; boundary rows positive.
+        ix = 3 * 6 + 3
+        assert rowsums[ix] == pytest.approx(0.0)
+
+    def test_mesh_dual_constant_degree(self):
+        m = mesh_dual(500, degree=3, seed=2)
+        np.testing.assert_array_equal(m.row_lengths(), np.full(500, 3))
+
+    def test_power_law_heavy_tail(self):
+        m = power_law_graph(5_000, avg_degree=4.0, exponent=2.0, seed=3)
+        stats = RowStats.from_matrix(m)
+        assert stats.max_nnz > 5 * stats.avg_nnz  # heavy tail exists
+        assert stats.min_nnz >= 1
+
+    def test_power_law_rejects_bad_exponent(self):
+        with pytest.raises(ValueError):
+            power_law_graph(100, exponent=1.0)
+
+    def test_road_network_short_rows(self):
+        m = road_network(5_000, avg_degree=2.5, seed=4)
+        stats = RowStats.from_matrix(m)
+        assert stats.max_nnz <= 5
+        assert 1.8 < stats.avg_nnz < 3.5
+
+    def test_combinatorial_constant_rows(self):
+        m = combinatorial_incidence(1_000, 200, nnz_per_row=4, seed=5)
+        np.testing.assert_array_equal(m.row_lengths(), np.full(1_000, 4))
+        assert m.shape == (1_000, 200)
+
+    def test_cfd_long_rows(self):
+        m = cfd_like(500, avg_nnz=140, spread=20, seed=6)
+        stats = RowStats.from_matrix(m)
+        assert 120 < stats.avg_nnz < 160
+
+    def test_quantum_chemistry_tail(self):
+        m = quantum_chemistry_like(
+            2_000, avg_nnz=100, tail_fraction=0.05, tail_scale=8, seed=7
+        )
+        stats = RowStats.from_matrix(m)
+        assert stats.max_nnz > 3 * stats.avg_nnz
+
+    def test_random_uniform_density(self):
+        m = random_uniform(2_000, 2_000, density=0.005, seed=8)
+        assert 0.003 < RowStats.from_matrix(m).density < 0.007
+
+    def test_bimodal_two_populations(self):
+        m = bimodal_rows(
+            2_000, short_len=2, long_len=200, long_fraction=0.1, seed=9
+        )
+        lengths = m.row_lengths()
+        assert set(np.unique(lengths)) == {2, 200}
+        frac = np.mean(lengths == 200)
+        assert 0.05 < frac < 0.15
+
+    def test_dense_row_outliers(self):
+        m = dense_row_outliers(500, base_len=3, outlier_count=2, seed=10)
+        lengths = m.row_lengths()
+        assert np.count_nonzero(lengths > 3) == 2
+
+    def test_single_entry_rows(self):
+        m = single_entry_rows(1_000, seed=11)
+        np.testing.assert_array_equal(m.row_lengths(), np.ones(1_000))
+
+    def test_determinism(self):
+        a = power_law_graph(300, seed=42)
+        b = power_law_graph(300, seed=42)
+        assert a.equals(b)
+
+    @given(st.integers(min_value=10, max_value=300),
+           st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_property_generators_valid_csr(self, n, seed):
+        for m in (
+            banded(n, avg_nnz=4, seed=seed),
+            road_network(n, seed=seed),
+            power_law_graph(n, seed=seed),
+        ):
+            # Constructor validation already ran; spot-check matvec.
+            v = np.ones(m.ncols)
+            assert np.all(np.isfinite(m @ v))
+
+
+class TestRowStats:
+    def test_table1_fields(self):
+        m = CSRMatrix.from_row_lengths(
+            np.array([1, 2, 3, 4]), 10, rng=np.random.default_rng(0)
+        )
+        s = RowStats.from_matrix(m)
+        assert (s.nrows, s.ncols, s.nnz) == (4, 10, 10)
+        assert s.avg_nnz == pytest.approx(2.5)
+        assert s.var_nnz == pytest.approx(1.25)
+        assert (s.min_nnz, s.max_nnz) == (1, 4)
+
+    def test_empty_matrix(self):
+        s = RowStats.from_matrix(CSRMatrix.empty((0, 5)))
+        assert s.nnz == 0 and s.avg_nnz == 0.0
+
+    def test_gini_uniform_zero(self):
+        s = RowStats.from_row_lengths(np.full(100, 7), 100, 1000)
+        assert s.gini == pytest.approx(0.0, abs=1e-9)
+
+    def test_gini_concentrated_high(self):
+        lengths = np.zeros(100, dtype=np.int64)
+        lengths[0] = 1000
+        s = RowStats.from_row_lengths(lengths, 100, 2000)
+        assert s.gini > 0.9
+
+    def test_cv_zero_for_uniform(self):
+        s = RowStats.from_row_lengths(np.full(10, 3), 10, 10)
+        assert s.cv_nnz == 0.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            RowStats.from_row_lengths(np.array([1, 2]), 3, 5)
+
+    def test_histogram_buckets(self):
+        h = row_length_histogram(np.array([1, 2, 3, 150, 5000]))
+        assert h["<=1"] == 1
+        assert h["<=2"] == 1
+        assert h["<=4"] == 1
+        assert h["<=256"] == 1
+        assert h[f">{int(FIGURE5_BUCKETS[-2])}"] == 1
+
+
+class TestRepresentative:
+    def test_sixteen_names(self):
+        assert len(REPRESENTATIVE_NAMES) == 16
+        assert "europe_osm" in REPRESENTATIVE_NAMES
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown representative"):
+            representative_matrix("nosuch")
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            representative_matrix("apache1", scale=0)
+
+    def test_deterministic(self):
+        a = representative_matrix("bfly", scale=0.02, seed=5)
+        b = representative_matrix("bfly", scale=0.02, seed=5)
+        assert a.equals(b)
+
+    def test_avg_nnz_tracks_paper(self):
+        """Scaled matrices keep the paper's per-row density signature."""
+        specs = representative_specs()
+        for name in ("apache1", "roadNet-CA", "crankseg_2", "D6-6"):
+            m = representative_matrix(name, scale=0.02, seed=0)
+            got = RowStats.from_matrix(m).avg_nnz
+            want = specs[name].paper_avg_nnz
+            assert got == pytest.approx(want, rel=0.25), name
+
+    def test_rectangular_shapes_preserved(self):
+        m = representative_matrix("ch7-9-b3", scale=0.02, seed=0)
+        assert m.nrows > 4 * m.ncols  # paper: 106k x 18k
+
+    def test_min_rows_floor(self):
+        m = representative_matrix("cryg10000", scale=1e-6, seed=0, min_rows=100)
+        assert m.nrows >= 100
+
+
+class TestCollection:
+    def test_deterministic_specs(self):
+        a = generate_collection(20, seed=1)
+        b = generate_collection(20, seed=1)
+        assert [s.name for s in a] == [s.name for s in b]
+        assert [s.seed for s in a] == [s.seed for s in b]
+
+    def test_specs_buildable(self):
+        for spec in generate_collection(15, seed=2, size_range=(50, 300)):
+            m = spec.build()
+            assert isinstance(m, CSRMatrix)
+            assert m.nrows > 0
+
+    def test_build_reproducible(self):
+        spec = generate_collection(1, seed=3, size_range=(50, 100))[0]
+        assert spec.build().equals(spec.build())
+
+    def test_family_mix_short_row_dominated(self):
+        specs = generate_collection(300, seed=4, size_range=(100, 500))
+        lens = np.concatenate([s.build().row_lengths() for s in specs])
+        assert np.mean(lens <= 100) > 0.9
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            generate_collection(-1)
+
+    def test_rejects_bad_size_range(self):
+        with pytest.raises(ValueError):
+            generate_collection(5, size_range=(100, 50))
+
+    def test_weight_override(self):
+        specs = generate_collection(
+            10, seed=5, weights={"road_network": 1.0}
+        )
+        assert all(s.family == "road_network" for s in specs)
+
+    def test_bad_weights(self):
+        with pytest.raises(ValueError):
+            generate_collection(5, weights={"banded": 0.0})
+
+    def test_unknown_family_in_spec(self):
+        spec = CollectionSpec("x", "nosuch", 10, {}, 0)
+        with pytest.raises(ValueError):
+            spec.build()

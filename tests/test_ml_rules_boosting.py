@@ -1,0 +1,195 @@
+"""Tests for ruleset extraction, boosting, metrics and cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError, TrainingError
+from repro.ml import (
+    BoostedTreesClassifier,
+    Dataset,
+    DecisionTreeClassifier,
+    RuleSet,
+    accuracy,
+    confusion_matrix,
+    cross_validate,
+    error_rate,
+)
+from repro.ml.rules import Condition, Rule
+
+
+def make_dataset(X, y, n_classes=None):
+    X = np.atleast_2d(np.asarray(X, dtype=float))
+    y = np.asarray(y, dtype=np.int64)
+    k = int(y.max()) + 1 if n_classes is None else n_classes
+    return Dataset(
+        X,
+        y,
+        tuple(f"f{i}" for i in range(X.shape[1])),
+        tuple(f"c{i}" for i in range(k)),
+    )
+
+
+def blobs(n_per_class, centers, spread, seed):
+    rng = np.random.default_rng(seed)
+    X, y = [], []
+    for c, centre in enumerate(centers):
+        X.append(rng.normal(centre, spread, size=(n_per_class, len(centre))))
+        y.extend([c] * n_per_class)
+    return make_dataset(np.vstack(X), np.array(y))
+
+
+class TestCondition:
+    def test_leq_matches(self):
+        c = Condition(0, 1.0, True)
+        np.testing.assert_array_equal(
+            c.matches(np.array([[0.5], [1.0], [2.0]])), [True, True, False]
+        )
+
+    def test_gt_matches(self):
+        c = Condition(0, 1.0, False)
+        np.testing.assert_array_equal(
+            c.matches(np.array([[0.5], [2.0]])), [False, True]
+        )
+
+    def test_render(self):
+        assert Condition(0, 2.5, True).render(("Avg_NNZ",)) == "Avg_NNZ <= 2.5"
+        assert Condition(0, 2.5, False).render(("Avg_NNZ",)) == "Avg_NNZ > 2.5"
+
+
+class TestRuleSet:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        ds = blobs(60, [[0.0, 0.0], [6.0, 0.0], [0.0, 6.0]], 0.6, seed=0)
+        tree = DecisionTreeClassifier().fit(ds)
+        return ds, tree, RuleSet.from_tree(tree, ds)
+
+    def test_predictions_close_to_tree(self, fitted):
+        ds, tree, rules = fitted
+        tree_acc = accuracy(ds.y, tree.predict(ds.X))
+        rule_acc = accuracy(ds.y, rules.predict(ds.X))
+        assert rule_acc >= tree_acc - 0.05
+
+    def test_rules_nonempty_and_ordered(self, fitted):
+        _, _, rules = fitted
+        assert len(rules) >= 2
+        errs = [r.error_estimate for r in rules.rules]
+        assert errs == sorted(errs)
+
+    def test_simplification_drops_conditions(self):
+        # A nested tree over one informative feature: paths accumulate
+        # redundant conditions that simplification removes.
+        rng = np.random.default_rng(1)
+        X = np.column_stack([rng.random(300), rng.random(300)])
+        y = (X[:, 0] > 0.5).astype(int)
+        ds = make_dataset(X, y)
+        tree = DecisionTreeClassifier(prune_cf=None, min_samples_leaf=1).fit(ds)
+        simplified = RuleSet.from_tree(tree, ds, simplify=True)
+        raw = RuleSet.from_tree(tree, ds, simplify=False)
+        total_simplified = sum(len(r.conditions) for r in simplified.rules)
+        total_raw = sum(len(r.conditions) for r in raw.rules)
+        assert total_simplified <= total_raw
+
+    def test_render_is_if_then(self, fitted):
+        _, _, rules = fitted
+        text = rules.render()
+        assert text.startswith("IF")
+        assert "THEN" in text
+        assert "DEFAULT" in text
+
+    def test_default_class_fallback(self):
+        rs = RuleSet([], default_class=2)
+        np.testing.assert_array_equal(rs.predict(np.zeros((3, 1))), [2, 2, 2])
+
+    def test_from_unfitted_tree_raises(self):
+        ds = blobs(5, [[0.0]], 0.1, seed=2)
+        with pytest.raises(TrainingError):
+            RuleSet.from_tree(DecisionTreeClassifier(), ds)
+
+
+class TestBoosting:
+    def test_beats_single_stump_on_diagonal(self):
+        # Diagonal boundary: one axis-aligned stump is weak; a boosted
+        # committee of stumps approximates the diagonal.
+        rng = np.random.default_rng(3)
+        X = rng.random((400, 2))
+        y = (X[:, 0] + X[:, 1] > 1.0).astype(int)
+        ds = make_dataset(X, y)
+        stump = DecisionTreeClassifier(max_depth=1, prune_cf=None).fit(ds)
+        boosted = BoostedTreesClassifier(trials=20, max_depth=1,
+                                         prune_cf=None).fit(ds)
+        assert boosted.n_trials_ > 3
+        assert accuracy(ds.y, boosted.predict(ds.X)) > accuracy(
+            ds.y, stump.predict(ds.X)
+        )
+
+    def test_early_stop_on_perfect_fit(self):
+        ds = blobs(30, [[0.0], [10.0]], 0.1, seed=4)
+        boosted = BoostedTreesClassifier(trials=10).fit(ds)
+        assert boosted.n_trials_ <= 2
+
+    def test_multiclass(self):
+        ds = blobs(40, [[0.0], [5.0], [10.0]], 0.5, seed=5)
+        boosted = BoostedTreesClassifier(trials=5).fit(ds)
+        assert accuracy(ds.y, boosted.predict(ds.X)) > 0.9
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            BoostedTreesClassifier().predict(np.zeros((1, 1)))
+
+    def test_rejects_bad_trials(self):
+        with pytest.raises(TrainingError):
+            BoostedTreesClassifier(trials=0)
+
+    def test_rejects_empty(self):
+        ds = make_dataset(np.zeros((0, 1)), np.zeros(0, dtype=int), n_classes=1)
+        with pytest.raises(TrainingError):
+            BoostedTreesClassifier().fit(ds)
+
+
+class TestMetrics:
+    def test_accuracy_and_error(self):
+        y = np.array([0, 1, 1, 0])
+        p = np.array([0, 1, 0, 0])
+        assert accuracy(y, p) == pytest.approx(0.75)
+        assert error_rate(y, p) == pytest.approx(0.25)
+
+    def test_confusion_matrix(self):
+        y = np.array([0, 0, 1, 2])
+        p = np.array([0, 1, 1, 2])
+        cm = confusion_matrix(y, p)
+        assert cm.shape == (3, 3)
+        assert cm[0, 0] == 1 and cm[0, 1] == 1
+        assert cm.sum() == 4
+
+    def test_confusion_matrix_explicit_classes(self):
+        cm = confusion_matrix(np.array([0]), np.array([0]), n_classes=5)
+        assert cm.shape == (5, 5)
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([0]), np.array([0, 1]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([], dtype=int), np.array([], dtype=int))
+
+
+class TestCrossValidate:
+    def test_low_error_on_separable(self):
+        ds = blobs(40, [[0.0], [8.0]], 0.5, seed=6)
+        errs = cross_validate(lambda: DecisionTreeClassifier(), ds, k=4, seed=0)
+        assert len(errs) == 4
+        assert np.mean(errs) < 0.1
+
+    def test_deterministic(self):
+        ds = blobs(30, [[0.0], [4.0]], 1.0, seed=7)
+        a = cross_validate(lambda: DecisionTreeClassifier(), ds, k=3, seed=5)
+        b = cross_validate(lambda: DecisionTreeClassifier(), ds, k=3, seed=5)
+        assert a == b
+
+    def test_rejects_bad_k(self):
+        ds = blobs(5, [[0.0]], 0.1, seed=8)
+        with pytest.raises(TrainingError):
+            cross_validate(lambda: DecisionTreeClassifier(), ds, k=1)
+        with pytest.raises(TrainingError):
+            cross_validate(lambda: DecisionTreeClassifier(), ds, k=50)

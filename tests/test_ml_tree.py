@@ -1,0 +1,262 @@
+"""Tests for the decision tree, pruning math and prediction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NotFittedError, TrainingError
+from repro.ml import Dataset, DecisionTreeClassifier, train_test_split
+from repro.ml.tree import binomial_error_upper_bound
+
+
+def make_dataset(X, y, n_classes=None):
+    X = np.atleast_2d(np.asarray(X, dtype=float))
+    y = np.asarray(y, dtype=np.int64)
+    k = int(y.max()) + 1 if n_classes is None else n_classes
+    return Dataset(
+        X,
+        y,
+        tuple(f"f{i}" for i in range(X.shape[1])),
+        tuple(f"c{i}" for i in range(k)),
+    )
+
+
+def blobs(n_per_class, centers, spread, seed):
+    """Gaussian blobs around the given centres."""
+    rng = np.random.default_rng(seed)
+    X, y = [], []
+    for c, centre in enumerate(centers):
+        X.append(rng.normal(centre, spread, size=(n_per_class, len(centre))))
+        y.extend([c] * n_per_class)
+    return make_dataset(np.vstack(X), np.array(y))
+
+
+class TestDataset:
+    def test_valid(self):
+        ds = make_dataset([[1, 2], [3, 4]], [0, 1])
+        assert ds.n_samples == 2
+        assert ds.n_features == 2
+        np.testing.assert_array_equal(ds.class_counts(), [1, 1])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(TrainingError):
+            Dataset(np.zeros((2, 2)), np.zeros(3, dtype=int), ("a", "b"), ("c",))
+
+    def test_rejects_bad_labels(self):
+        with pytest.raises(TrainingError):
+            make_dataset([[1], [2]], [0, 5], n_classes=2)
+
+    def test_rejects_nan(self):
+        with pytest.raises(TrainingError):
+            make_dataset([[np.nan], [1.0]], [0, 0], n_classes=1)
+
+    def test_rejects_feature_name_mismatch(self):
+        with pytest.raises(TrainingError):
+            Dataset(np.zeros((2, 2)), np.zeros(2, dtype=int), ("a",), ("c",))
+
+    def test_subset(self):
+        ds = make_dataset([[1], [2], [3]], [0, 1, 0])
+        sub = ds.subset(np.array([2, 0]))
+        np.testing.assert_array_equal(sub.X.ravel(), [3, 1])
+
+
+class TestTrainTestSplit:
+    def test_fraction_respected(self):
+        ds = blobs(100, [[0.0], [5.0]], 0.5, seed=0)
+        train, test = train_test_split(ds, test_fraction=0.25, seed=1)
+        assert test.n_samples == pytest.approx(50, abs=4)
+        assert train.n_samples + test.n_samples == 200
+
+    def test_stratified_keeps_classes(self):
+        ds = blobs(20, [[0.0], [5.0], [10.0]], 0.1, seed=2)
+        train, test = train_test_split(ds, test_fraction=0.25, seed=3)
+        assert len(np.unique(train.y)) == 3
+        assert len(np.unique(test.y)) == 3
+
+    def test_singleton_class_stays_in_train(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0, 0, 0, 1])
+        ds = make_dataset(X, y)
+        train, test = train_test_split(ds, test_fraction=0.5, seed=0)
+        assert 1 in train.y and 1 not in test.y
+
+    def test_deterministic(self):
+        ds = blobs(30, [[0.0], [5.0]], 0.5, seed=4)
+        a = train_test_split(ds, seed=7)[1].X
+        b = train_test_split(ds, seed=7)[1].X
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_bad_fraction(self):
+        ds = blobs(5, [[0.0]], 0.1, seed=5)
+        with pytest.raises(TrainingError):
+            train_test_split(ds, test_fraction=1.5)
+
+
+class TestBinomialBound:
+    def test_zero_trials(self):
+        assert binomial_error_upper_bound(0, 0, 0.25) == 1.0
+
+    def test_all_errors(self):
+        assert binomial_error_upper_bound(5, 5, 0.25) == 1.0
+
+    def test_zero_errors_matches_closed_form(self):
+        # E=0: U = 1 - cf^(1/N)
+        n, cf = 10, 0.25
+        expected = 1 - cf ** (1 / n)
+        assert binomial_error_upper_bound(0, n, cf) == pytest.approx(
+            expected, rel=1e-6
+        )
+
+    def test_monotone_in_errors(self):
+        vals = [binomial_error_upper_bound(e, 20, 0.25) for e in range(0, 20, 4)]
+        assert all(a < b for a, b in zip(vals, vals[1:]))
+
+    def test_bound_above_observed_rate(self):
+        assert binomial_error_upper_bound(2, 20, 0.25) > 0.1
+
+
+class TestDecisionTree:
+    def test_separable_blobs_perfect(self):
+        ds = blobs(50, [[0.0, 0.0], [10.0, 10.0]], 0.5, seed=0)
+        tree = DecisionTreeClassifier().fit(ds)
+        assert np.all(tree.predict(ds.X) == ds.y)
+
+    def test_three_classes(self):
+        ds = blobs(40, [[0.0], [5.0], [10.0]], 0.4, seed=1)
+        tree = DecisionTreeClassifier().fit(ds)
+        acc = np.mean(tree.predict(ds.X) == ds.y)
+        assert acc > 0.95
+
+    def test_generalises_to_test_set(self):
+        ds = blobs(100, [[0.0, 0.0], [6.0, 6.0]], 1.0, seed=2)
+        train, test = train_test_split(ds, seed=0)
+        tree = DecisionTreeClassifier().fit(train)
+        acc = np.mean(tree.predict(test.X) == test.y)
+        assert acc > 0.9
+
+    def test_single_class_is_leaf(self):
+        ds = make_dataset([[0.0], [1.0], [2.0]], [0, 0, 0], n_classes=2)
+        tree = DecisionTreeClassifier().fit(ds)
+        assert tree.root.is_leaf
+        assert np.all(tree.predict(np.array([[5.0]])) == 0)
+
+    def test_constant_features_leaf(self):
+        ds = make_dataset([[1.0], [1.0], [1.0], [1.0]], [0, 1, 0, 1])
+        tree = DecisionTreeClassifier().fit(ds)
+        assert tree.root.is_leaf
+
+    def test_max_depth_respected(self):
+        rng = np.random.default_rng(3)
+        X = rng.random((200, 3))
+        y = (rng.random(200) > 0.5).astype(int)
+        tree = DecisionTreeClassifier(max_depth=2, prune_cf=None).fit(
+            make_dataset(X, y)
+        )
+        assert tree.depth() <= 2
+
+    def test_min_samples_leaf(self):
+        ds = blobs(50, [[0.0], [5.0]], 0.5, seed=4)
+        tree = DecisionTreeClassifier(min_samples_leaf=30).fit(ds)
+
+        def check(node):
+            if node.is_leaf:
+                assert node.n >= 30 or node.depth == 0
+            else:
+                check(node.left)
+                check(node.right)
+
+        check(tree.root)
+
+    def test_pruning_shrinks_noisy_tree(self):
+        rng = np.random.default_rng(5)
+        X = rng.random((300, 4))
+        y = (X[:, 0] > 0.5).astype(int)
+        noise = rng.random(300) < 0.15
+        y[noise] = 1 - y[noise]
+        ds = make_dataset(X, y)
+        # Disable the MDL gain penalty so the unpruned tree genuinely
+        # overfits the label noise, then check pruning collapses it.
+        kw = dict(mdl_penalty=False, min_gain=0.0, min_samples_leaf=1)
+        pruned = DecisionTreeClassifier(prune_cf=0.25, **kw).fit(ds)
+        unpruned = DecisionTreeClassifier(prune_cf=None, **kw).fit(ds)
+        assert unpruned.n_leaves() > 10  # overfit confirmed
+        assert pruned.n_leaves() < unpruned.n_leaves()
+
+    def test_mdl_penalty_regularises(self):
+        rng = np.random.default_rng(6)
+        X = rng.random((200, 4))
+        y = (X[:, 0] > 0.5).astype(int)
+        y[rng.random(200) < 0.2] ^= 1
+        ds = make_dataset(X, y)
+        with_mdl = DecisionTreeClassifier(prune_cf=None).fit(ds)
+        without = DecisionTreeClassifier(
+            prune_cf=None, mdl_penalty=False, min_gain=0.0, min_samples_leaf=1
+        ).fit(ds)
+        assert with_mdl.n_leaves() <= without.n_leaves()
+
+    def test_sample_weights_shift_decision(self):
+        # Two overlapping points; weights decide the majority.
+        X = np.array([[0.0], [0.0]])
+        y = np.array([0, 1])
+        ds = make_dataset(X, y)
+        t0 = DecisionTreeClassifier().fit(ds, sample_weight=np.array([10.0, 1.0]))
+        t1 = DecisionTreeClassifier().fit(ds, sample_weight=np.array([1.0, 10.0]))
+        assert t0.predict(np.array([[0.0]]))[0] == 0
+        assert t1.predict(np.array([[0.0]]))[0] == 1
+
+    def test_rejects_bad_weights(self):
+        ds = blobs(5, [[0.0]], 0.1, seed=6)
+        with pytest.raises(TrainingError):
+            DecisionTreeClassifier().fit(ds, sample_weight=np.ones(3))
+        with pytest.raises(TrainingError):
+            DecisionTreeClassifier().fit(ds, sample_weight=-np.ones(5))
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(NotFittedError):
+            DecisionTreeClassifier().predict(np.zeros((1, 2)))
+
+    def test_rejects_empty_dataset(self):
+        ds = make_dataset(np.zeros((0, 2)), np.zeros(0, dtype=int), n_classes=1)
+        with pytest.raises(TrainingError):
+            DecisionTreeClassifier().fit(ds)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(TrainingError):
+            DecisionTreeClassifier(max_depth=0)
+        with pytest.raises(TrainingError):
+            DecisionTreeClassifier(min_samples_leaf=0)
+        with pytest.raises(TrainingError):
+            DecisionTreeClassifier(prune_cf=2.0)
+
+    def test_predict_proba_sums_to_one(self):
+        ds = blobs(30, [[0.0], [4.0]], 0.8, seed=7)
+        tree = DecisionTreeClassifier().fit(ds)
+        proba = tree.predict_proba(ds.X)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+        assert np.all(np.argmax(proba, axis=1) == tree.predict(ds.X))
+
+    def test_to_text_mentions_features_and_classes(self):
+        ds = blobs(20, [[0.0], [5.0]], 0.3, seed=8)
+        tree = DecisionTreeClassifier().fit(ds)
+        text = tree.to_text()
+        assert "f0" in text
+        assert "c0" in text or "c1" in text
+
+    @given(
+        st.integers(min_value=5, max_value=40),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_training_accuracy_beats_majority(self, n, d, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.random((n, d))
+        y = (X[:, 0] > 0.5).astype(int)
+        if len(np.unique(y)) < 2:
+            return
+        ds = make_dataset(X, y)
+        tree = DecisionTreeClassifier(prune_cf=None, min_samples_leaf=1).fit(ds)
+        acc = np.mean(tree.predict(ds.X) == ds.y)
+        majority = max(np.mean(y == 0), np.mean(y == 1))
+        assert acc >= majority - 1e-12

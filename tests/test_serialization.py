@@ -1,0 +1,162 @@
+"""Tests for model / tuner persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import AutoTuner, TuningSpace
+from repro.device import SimulatedDevice
+from repro.errors import TrainingError
+from repro.matrices import bimodal_rows, generate_collection
+from repro.ml import BoostedTreesClassifier, Dataset, DecisionTreeClassifier, RuleSet
+from repro.ml.serialize import (
+    boosted_from_dict,
+    boosted_to_dict,
+    classifier_from_dict,
+    classifier_to_dict,
+    ruleset_from_dict,
+    ruleset_to_dict,
+    tree_from_dict,
+    tree_to_dict,
+)
+
+
+def blobs(n_per_class, centers, spread, seed):
+    rng = np.random.default_rng(seed)
+    X, y = [], []
+    for c, centre in enumerate(centers):
+        X.append(rng.normal(centre, spread, size=(n_per_class, len(centre))))
+        y.extend([c] * n_per_class)
+    X = np.vstack(X)
+    return Dataset(
+        X,
+        np.array(y),
+        tuple(f"f{i}" for i in range(X.shape[1])),
+        tuple(f"c{i}" for i in range(len(centers))),
+    )
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return blobs(60, [[0.0, 0.0], [5.0, 0.0], [0.0, 5.0]], 0.8, seed=0)
+
+
+class TestTreeRoundtrip:
+    def test_identical_predictions(self, dataset):
+        tree = DecisionTreeClassifier().fit(dataset)
+        clone = tree_from_dict(tree_to_dict(tree))
+        np.testing.assert_array_equal(
+            clone.predict(dataset.X), tree.predict(dataset.X)
+        )
+
+    def test_json_compatible(self, dataset):
+        tree = DecisionTreeClassifier().fit(dataset)
+        payload = json.loads(json.dumps(tree_to_dict(tree)))
+        clone = tree_from_dict(payload)
+        np.testing.assert_array_equal(
+            clone.predict(dataset.X), tree.predict(dataset.X)
+        )
+
+    def test_preserves_params_and_names(self, dataset):
+        tree = DecisionTreeClassifier(max_depth=5, prune_cf=0.1).fit(dataset)
+        clone = tree_from_dict(tree_to_dict(tree))
+        assert clone.max_depth == 5
+        assert clone.prune_cf == 0.1
+        assert clone.feature_names_ == dataset.feature_names
+        assert clone.class_names_ == dataset.class_names
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(TrainingError):
+            tree_to_dict(DecisionTreeClassifier())
+
+    def test_wrong_kind_rejected(self, dataset):
+        tree = DecisionTreeClassifier().fit(dataset)
+        d = tree_to_dict(tree)
+        d["kind"] = "forest"
+        with pytest.raises(TrainingError):
+            tree_from_dict(d)
+
+
+class TestBoostedRoundtrip:
+    def test_identical_predictions(self, dataset):
+        model = BoostedTreesClassifier(trials=4).fit(dataset)
+        clone = boosted_from_dict(boosted_to_dict(model))
+        np.testing.assert_array_equal(
+            clone.predict(dataset.X), model.predict(dataset.X)
+        )
+        assert clone.alphas_ == model.alphas_
+
+    def test_classifier_dispatch(self, dataset):
+        for model in (
+            DecisionTreeClassifier().fit(dataset),
+            BoostedTreesClassifier(trials=3).fit(dataset),
+        ):
+            clone = classifier_from_dict(classifier_to_dict(model))
+            np.testing.assert_array_equal(
+                clone.predict(dataset.X), model.predict(dataset.X)
+            )
+
+    def test_dispatch_rejects_unknown(self):
+        with pytest.raises(TrainingError):
+            classifier_from_dict({"kind": "svm"})
+
+
+class TestRulesetRoundtrip:
+    def test_identical_predictions(self, dataset):
+        tree = DecisionTreeClassifier().fit(dataset)
+        rules = RuleSet.from_tree(tree, dataset)
+        clone = ruleset_from_dict(ruleset_to_dict(rules))
+        np.testing.assert_array_equal(
+            clone.predict(dataset.X), rules.predict(dataset.X)
+        )
+        assert clone.render() == rules.render()
+
+
+class TestAutoTunerRoundtrip:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        space = TuningSpace(
+            granularities=(10, 1000),
+            kernel_names=("serial", "subvector8", "vector"),
+        )
+        tuner = AutoTuner(device=SimulatedDevice(), space=space, seed=1)
+        tuner.fit(generate_collection(12, seed=1, size_range=(500, 3_000)))
+        return tuner
+
+    def test_file_roundtrip_plans_identically(self, fitted, tmp_path):
+        path = tmp_path / "tuner.json"
+        fitted.save(path)
+        clone = AutoTuner.load(path)
+        m = bimodal_rows(3_000, seed=2)
+        a, b = fitted.plan(m), clone.plan(m)
+        assert a.scheme.name == b.scheme.name
+        assert a.bin_kernels == b.bin_kernels
+
+    def test_roundtrip_runs_correctly(self, fitted, tmp_path):
+        path = tmp_path / "tuner.json"
+        fitted.save(path)
+        clone = AutoTuner.load(path)
+        m = bimodal_rows(2_000, seed=3)
+        v = np.ones(m.ncols)
+        result = clone.run(m, v)
+        np.testing.assert_allclose(result.u, m @ v, atol=1e-8)
+
+    def test_preserves_space_and_report(self, fitted, tmp_path):
+        path = tmp_path / "tuner.json"
+        fitted.save(path)
+        clone = AutoTuner.load(path)
+        assert clone.space.granularities == fitted.space.granularities
+        assert clone.space.kernel_names == fitted.space.kernel_names
+        assert clone.report.stage2_error == fitted.report.stage2_error
+        assert clone.device.spec == fitted.device.spec
+
+    def test_unfitted_save_rejected(self):
+        from repro.errors import NotFittedError
+
+        with pytest.raises(NotFittedError):
+            AutoTuner().to_dict()
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(TrainingError):
+            AutoTuner.from_dict({"kind": "nope"})

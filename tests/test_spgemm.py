@@ -1,0 +1,182 @@
+"""Tests for the SpGEMM extension (reference, workloads, binned tuning)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device import DeviceSpec, SimulatedDevice
+from repro.errors import ShapeError
+from repro.formats import CSRMatrix
+from repro.matrices import generators as gen
+from repro.spgemm import (
+    ACCUMULATOR_NAMES,
+    BinnedSpGEMM,
+    accumulator_cost,
+    estimate_row_flops,
+    spgemm_reference,
+)
+
+SPEC = DeviceSpec.kaveri_apu()
+
+
+def _random_csr(m, n, density, seed):
+    rng = np.random.default_rng(seed)
+    dense = rng.standard_normal((m, n))
+    dense[rng.random((m, n)) > density] = 0.0
+    return CSRMatrix.from_dense(dense)
+
+
+class TestReference:
+    def test_identity(self):
+        eye = CSRMatrix.identity(5)
+        a = _random_csr(5, 5, 0.5, 0)
+        assert spgemm_reference(a, eye).equals(a, tol=1e-12)
+        assert spgemm_reference(eye, a).equals(a, tol=1e-12)
+
+    def test_matches_dense(self):
+        a = _random_csr(8, 6, 0.4, 1)
+        b = _random_csr(6, 9, 0.4, 2)
+        c = spgemm_reference(a, b)
+        np.testing.assert_allclose(
+            c.to_dense(), a.to_dense() @ b.to_dense(), atol=1e-10
+        )
+
+    def test_matches_scipy(self):
+        a = _random_csr(20, 15, 0.3, 3)
+        b = _random_csr(15, 12, 0.3, 4)
+        c = spgemm_reference(a, b)
+        expected = (a.to_scipy() @ b.to_scipy()).toarray()
+        np.testing.assert_allclose(c.to_dense(), expected, atol=1e-10)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            spgemm_reference(CSRMatrix.identity(3), CSRMatrix.identity(4))
+
+    def test_empty_operands(self):
+        z = CSRMatrix.empty((3, 4))
+        b = _random_csr(4, 5, 0.5, 5)
+        c = spgemm_reference(z, b)
+        assert c.nnz == 0 and c.shape == (3, 5)
+
+    @given(
+        st.integers(min_value=1, max_value=15),
+        st.integers(min_value=1, max_value=15),
+        st.integers(min_value=1, max_value=15),
+        st.floats(min_value=0.1, max_value=0.7),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_dense(self, m, k, n, density, seed):
+        a = _random_csr(m, k, density, seed)
+        b = _random_csr(k, n, density, seed ^ 0x1234)
+        c = spgemm_reference(a, b)
+        np.testing.assert_allclose(
+            c.to_dense(), a.to_dense() @ b.to_dense(), atol=1e-9
+        )
+
+
+class TestWorkload:
+    def test_exact_flop_count(self):
+        a = _random_csr(10, 8, 0.4, 6)
+        b = _random_csr(8, 10, 0.4, 7)
+        flops = estimate_row_flops(a, b)
+        # Per row i: sum over stored A[i,k] of nnz(B[k,:]).
+        for i in range(a.nrows):
+            ks = a.colidx[a.rowptr[i] : a.rowptr[i + 1]]
+            expected = int(b.row_lengths()[ks].sum())
+            assert flops[i] == expected
+
+    def test_zero_matrix(self):
+        z = CSRMatrix.empty((4, 4))
+        np.testing.assert_array_equal(
+            estimate_row_flops(z, CSRMatrix.identity(4)), np.zeros(4)
+        )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            estimate_row_flops(CSRMatrix.identity(3), CSRMatrix.identity(4))
+
+
+class TestAccumulatorCosts:
+    def test_all_positive(self):
+        flops = np.full(1_000, 20)
+        for name in ACCUMULATOR_NAMES:
+            assert accumulator_cost(name, flops, 5_000, SPEC) > 0
+
+    def test_empty_bin_free(self):
+        for name in ACCUMULATOR_NAMES:
+            assert accumulator_cost(name, np.zeros(0), 100, SPEC) == 0.0
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            accumulator_cost("hash", np.ones(4), 10, SPEC)
+
+    def test_scalar_best_for_tiny_rows(self):
+        flops = np.full(50_000, 2)
+        times = {n: accumulator_cost(n, flops, 200_000, SPEC)
+                 for n in ACCUMULATOR_NAMES}
+        assert min(times, key=times.get) == "scalar-merge"
+
+    def test_dense_accumulator_penalised_by_wide_output(self):
+        flops = np.full(100, 50)
+        narrow = accumulator_cost("dense-accumulator", flops, 1_000, SPEC)
+        wide = accumulator_cost("dense-accumulator", flops, 1_000_000, SPEC)
+        assert wide > narrow
+
+    def test_sort_wins_midrange(self):
+        flops = np.full(5_000, 300)
+        times = {n: accumulator_cost(n, flops, 500_000, SPEC)
+                 for n in ACCUMULATOR_NAMES}
+        assert times["sort-based"] < times["scalar-merge"]
+        assert times["sort-based"] < times["dense-accumulator"]
+
+
+class TestBinnedSpGEMM:
+    def test_correct_result(self):
+        a = gen.power_law_graph(800, avg_degree=5, seed=8)
+        b = gen.power_law_graph(800, avg_degree=5, seed=9)
+        result = BinnedSpGEMM(u=20).multiply(a, b)
+        assert result.c.equals(spgemm_reference(a, b), tol=1e-9)
+        assert result.seconds > 0
+        assert result.n_launches >= 1
+
+    def test_rectangular(self):
+        a = _random_csr(30, 20, 0.3, 10)
+        b = _random_csr(20, 25, 0.3, 11)
+        result = BinnedSpGEMM(u=5).multiply(a, b)
+        np.testing.assert_allclose(
+            result.c.to_dense(), a.to_dense() @ b.to_dense(), atol=1e-9
+        )
+
+    def test_heterogeneous_rows_use_multiple_strategies(self):
+        # Rows whose FLOP counts span tiny to huge force different bins
+        # to pick different accumulators.
+        rng = np.random.default_rng(12)
+        lengths = np.full(4_000, 2, dtype=np.int64)
+        lengths[:200] = 60  # these rows hit many B rows -> big FLOPs
+        a = CSRMatrix.from_row_lengths(np.sort(lengths)[::-1].copy(), 4_000,
+                                       rng=rng)
+        b = gen.power_law_graph(4_000, avg_degree=8, exponent=1.9,
+                                sorted_rows=True, seed=13)
+        result = BinnedSpGEMM(u=10).multiply(a, b)
+        assert result.c.equals(spgemm_reference(a, b), tol=1e-8)
+        used = {name for name, _ in result.bin_strategies.values()}
+        assert len(used) >= 1  # strategies recorded per bin
+        assert result.binning_overhead >= 0
+
+    def test_empty_product(self):
+        z = CSRMatrix.empty((5, 5))
+        result = BinnedSpGEMM().multiply(z, CSRMatrix.identity(5))
+        assert result.c.nnz == 0
+        assert result.n_launches == 0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            BinnedSpGEMM().multiply(CSRMatrix.identity(3),
+                                    CSRMatrix.identity(4))
+
+    def test_device_shared(self):
+        dev = SimulatedDevice()
+        spgemm = BinnedSpGEMM(device=dev)
+        assert spgemm.device is dev

@@ -1,0 +1,97 @@
+"""Tests for the SpMM (multi-vector) extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device import CPUExecutor, PartitionStrategy
+from repro.errors import ShapeError
+from repro.formats import CSRMatrix
+from repro.matrices import generators as gen
+
+
+def _random_csr(m, n, density, seed):
+    rng = np.random.default_rng(seed)
+    dense = rng.standard_normal((m, n))
+    dense[rng.random((m, n)) > density] = 0.0
+    return CSRMatrix.from_dense(dense)
+
+
+class TestMatmatReference:
+    def test_matches_dense(self):
+        a = _random_csr(12, 9, 0.4, 0)
+        b = np.random.default_rng(1).standard_normal((9, 5))
+        np.testing.assert_allclose(a.matmat_reference(b), a.to_dense() @ b,
+                                   atol=1e-12)
+
+    def test_matmul_operator_dispatches(self):
+        a = _random_csr(6, 6, 0.5, 2)
+        b = np.random.default_rng(3).standard_normal((6, 3))
+        v = np.random.default_rng(4).standard_normal(6)
+        np.testing.assert_allclose(a @ b, a.matmat_reference(b))
+        np.testing.assert_allclose(a @ v, a.matvec_reference(v))
+
+    def test_rejects_bad_shapes(self):
+        a = CSRMatrix.identity(4)
+        with pytest.raises(ShapeError):
+            a.matmat_reference(np.ones((3, 2)))
+
+    def test_single_column_agrees_with_matvec(self):
+        a = _random_csr(10, 8, 0.3, 5)
+        v = np.random.default_rng(6).standard_normal(8)
+        np.testing.assert_allclose(
+            a.matmat_reference(v[:, None]).ravel(), a @ v, atol=1e-12
+        )
+
+
+class TestCPUSpMM:
+    @pytest.fixture(scope="class")
+    def pool(self):
+        with CPUExecutor(n_threads=3) as ex:
+            yield ex
+
+    @pytest.mark.parametrize("strategy", list(PartitionStrategy))
+    def test_matches_reference(self, pool, strategy):
+        a = gen.quantum_chemistry_like(1_500, avg_nnz=25, seed=7)
+        b = np.random.default_rng(8).standard_normal((a.ncols, 6))
+        out = pool.spmm(a, b, strategy=strategy)
+        np.testing.assert_allclose(out, a @ b, atol=1e-9)
+
+    def test_empty_rows_zero(self, pool):
+        a = CSRMatrix.from_dense(
+            np.array([[0.0, 0.0], [1.0, 2.0], [0.0, 0.0]])
+        )
+        b = np.ones((2, 4))
+        out = pool.spmm(a, b)
+        np.testing.assert_allclose(out, [[0] * 4, [3] * 4, [0] * 4])
+
+    def test_zero_columns(self, pool):
+        a = CSRMatrix.identity(3)
+        out = pool.spmm(a, np.zeros((3, 0)))
+        assert out.shape == (3, 0)
+
+    def test_empty_matrix(self, pool):
+        out = pool.spmm(CSRMatrix.empty((0, 4)), np.ones((4, 2)))
+        assert out.shape == (0, 2)
+
+    def test_rejects_bad_operand(self, pool):
+        a = CSRMatrix.identity(3)
+        with pytest.raises(ShapeError):
+            pool.spmm(a, np.ones(3))
+        with pytest.raises(ShapeError):
+            pool.spmm(a, np.ones((4, 2)))
+
+    @given(
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=1, max_value=6),
+        st.floats(min_value=0.05, max_value=0.7),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_matches_dense(self, pool, m, n, k, density, seed):
+        a = _random_csr(m, n, density, seed)
+        b = np.random.default_rng(seed ^ 0x77).standard_normal((n, k))
+        out = pool.spmm(a, b)
+        np.testing.assert_allclose(out, a.to_dense() @ b, atol=1e-9)

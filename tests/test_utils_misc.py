@@ -1,0 +1,148 @@
+"""Tests for :mod:`repro.utils` validation, rng, timing and tables."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.tables import ascii_bars, format_series, format_table
+from repro.utils.timing import Timer, best_of
+from repro.utils.validation import (
+    check_1d,
+    check_dtype,
+    check_positive,
+    check_probability,
+)
+
+
+class TestValidation:
+    def test_check_1d_accepts_list(self):
+        out = check_1d([1, 2, 3], "x")
+        assert out.shape == (3,)
+
+    def test_check_1d_rejects_2d(self):
+        with pytest.raises(ValueError, match="x must be 1-D"):
+            check_1d(np.zeros((2, 2)), "x")
+
+    def test_check_dtype_accepts(self):
+        check_dtype(np.array([1, 2]), "iu", "x")
+
+    def test_check_dtype_rejects(self):
+        with pytest.raises(TypeError):
+            check_dtype(np.array([1.0]), "iu", "x")
+
+    def test_check_positive_strict(self):
+        check_positive(1, "x")
+        with pytest.raises(ValueError):
+            check_positive(0, "x")
+
+    def test_check_positive_nonstrict(self):
+        check_positive(0, "x", strict=False)
+        with pytest.raises(ValueError):
+            check_positive(-1, "x", strict=False)
+
+    def test_check_positive_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive(True, "x")
+
+    def test_check_probability(self):
+        check_probability(0.0, "p")
+        check_probability(1.0, "p")
+        with pytest.raises(ValueError):
+            check_probability(1.5, "p")
+        with pytest.raises(TypeError):
+            check_probability("0.5", "p")
+
+
+class TestRng:
+    def test_as_generator_none(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_as_generator_int_deterministic(self):
+        a = as_generator(42).integers(0, 1000, 10)
+        b = as_generator(42).integers(0, 1000, 10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_as_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_spawn_independent(self):
+        gens = spawn_generators(7, 3)
+        assert len(gens) == 3
+        draws = [g.integers(0, 2**31) for g in gens]
+        assert len(set(draws)) == 3  # overwhelmingly likely
+
+    def test_spawn_deterministic(self):
+        a = [g.integers(0, 2**31) for g in spawn_generators(7, 2)]
+        b = [g.integers(0, 2**31) for g in spawn_generators(7, 2)]
+        assert a == b
+
+    def test_spawn_rejects_negative(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+
+class TestTimer:
+    def test_records_laps(self):
+        t = Timer()
+        with t:
+            pass
+        with t:
+            pass
+        assert len(t.laps) == 2
+        assert t.elapsed >= 0
+        assert t.best <= t.mean or len(t.laps) == 0
+
+    def test_reset(self):
+        t = Timer()
+        with t:
+            pass
+        t.reset()
+        assert t.laps == []
+        assert t.mean == 0.0
+        assert t.best == 0.0
+
+    def test_best_of(self):
+        assert best_of(lambda: None, repeats=2) >= 0
+
+    def test_best_of_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            best_of(lambda: None, repeats=0)
+
+
+class TestTables:
+    def test_format_table_aligns(self):
+        out = format_table(["name", "v"], [["a", 1], ["bbbb", 22]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+
+    def test_format_table_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_format_table_title(self):
+        out = format_table(["a"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_format_series(self):
+        out = format_series({"x": 1.0, "yy": 2.0})
+        assert "x  : 1" in out
+        assert "yy : 2" in out
+
+    def test_format_series_empty(self):
+        assert format_series({}) == ""
+
+    def test_ascii_bars_scaling(self):
+        out = ascii_bars({"a": 1.0, "b": 2.0}, width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_ascii_bars_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ascii_bars({"a": -1.0})
+
+    def test_ascii_bars_all_zero(self):
+        out = ascii_bars({"a": 0.0})
+        assert "#" not in out

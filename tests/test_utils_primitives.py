@@ -1,0 +1,175 @@
+"""Unit and property tests for :mod:`repro.utils.primitives`."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.primitives import (
+    exclusive_scan,
+    inclusive_scan,
+    segment_ids_from_offsets,
+    segmented_max,
+    segmented_reduce_tree,
+    segmented_sum,
+)
+
+
+class TestScans:
+    def test_inclusive_scan_basic(self):
+        np.testing.assert_array_equal(
+            inclusive_scan(np.array([1, 2, 3])), [1, 3, 6]
+        )
+
+    def test_exclusive_scan_basic(self):
+        np.testing.assert_array_equal(
+            exclusive_scan(np.array([1, 2, 3])), [0, 1, 3, 6]
+        )
+
+    def test_exclusive_scan_empty(self):
+        np.testing.assert_array_equal(exclusive_scan(np.array([], dtype=np.int64)), [0])
+
+    def test_exclusive_scan_is_rowptr_shape(self):
+        counts = np.array([0, 5, 0, 2])
+        out = exclusive_scan(counts)
+        assert len(out) == len(counts) + 1
+        assert out[-1] == counts.sum()
+
+    def test_exclusive_scan_float_input_promotes(self):
+        out = exclusive_scan(np.array([1.0, 2.0]))
+        assert out.dtype == np.int64
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            exclusive_scan(np.zeros((2, 2)))
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=50), min_size=0, max_size=60)
+    )
+    def test_exclusive_scan_property(self, counts):
+        arr = np.array(counts, dtype=np.int64)
+        out = exclusive_scan(arr)
+        assert out[0] == 0
+        np.testing.assert_array_equal(np.diff(out), arr)
+
+
+class TestSegmentIds:
+    def test_basic(self):
+        np.testing.assert_array_equal(
+            segment_ids_from_offsets(np.array([0, 2, 2, 5])), [0, 0, 2, 2, 2]
+        )
+
+    def test_all_empty_segments(self):
+        np.testing.assert_array_equal(
+            segment_ids_from_offsets(np.array([0, 0, 0])), []
+        )
+
+    def test_single_segment(self):
+        np.testing.assert_array_equal(
+            segment_ids_from_offsets(np.array([0, 3])), [0, 0, 0]
+        )
+
+    def test_total_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            segment_ids_from_offsets(np.array([0, 3]), total=5)
+
+    def test_empty_offsets_raises(self):
+        with pytest.raises(ValueError):
+            segment_ids_from_offsets(np.array([], dtype=np.int64))
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=8), min_size=1, max_size=30)
+    )
+    def test_matches_repeat(self, counts):
+        arr = np.array(counts, dtype=np.int64)
+        offsets = exclusive_scan(arr)
+        ids = segment_ids_from_offsets(offsets)
+        expected = np.repeat(np.arange(len(arr)), arr)
+        np.testing.assert_array_equal(ids, expected)
+
+
+class TestSegmentedReductions:
+    def test_sum_basic(self):
+        vals = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        offsets = np.array([0, 2, 2, 5])
+        np.testing.assert_allclose(segmented_sum(vals, offsets), [3.0, 0.0, 12.0])
+
+    def test_max_basic(self):
+        vals = np.array([1, 9, 3, 4, 5])
+        offsets = np.array([0, 2, 2, 5])
+        np.testing.assert_array_equal(segmented_max(vals, offsets), [9, 0, 5])
+
+    def test_max_custom_empty_value(self):
+        vals = np.array([1, 2])
+        offsets = np.array([0, 0, 2])
+        np.testing.assert_array_equal(
+            segmented_max(vals, offsets, empty=-1), [-1, 2]
+        )
+
+    def test_sum_no_segments(self):
+        out = segmented_sum(np.array([], dtype=float), np.array([0]))
+        assert len(out) == 0
+
+    def test_sum_all_empty(self):
+        out = segmented_sum(np.array([], dtype=float), np.array([0, 0, 0]))
+        np.testing.assert_array_equal(out, [0.0, 0.0])
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=6), min_size=1, max_size=20),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=50)
+    def test_sum_matches_loop(self, counts, seed):
+        rng = np.random.default_rng(seed)
+        arr = np.array(counts, dtype=np.int64)
+        offsets = exclusive_scan(arr)
+        vals = rng.standard_normal(int(offsets[-1]))
+        out = segmented_sum(vals, offsets)
+        for i in range(len(arr)):
+            expected = vals[offsets[i] : offsets[i + 1]].sum()
+            assert out[i] == pytest.approx(expected, abs=1e-12)
+
+
+class TestTreeReduce:
+    def test_matches_sum_width4(self):
+        buf = np.array([1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0])
+        np.testing.assert_allclose(segmented_reduce_tree(buf, 4), [10.0, 100.0])
+
+    def test_width_one_is_identity(self):
+        buf = np.array([5.0, 7.0])
+        np.testing.assert_allclose(segmented_reduce_tree(buf, 1), buf)
+
+    def test_full_width(self):
+        buf = np.arange(8, dtype=float)
+        np.testing.assert_allclose(segmented_reduce_tree(buf, 8), [28.0])
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            segmented_reduce_tree(np.zeros(6), 3)
+
+    def test_rejects_non_multiple_length(self):
+        with pytest.raises(ValueError):
+            segmented_reduce_tree(np.zeros(6), 4)
+
+    def test_does_not_mutate_input(self):
+        buf = np.ones(4)
+        segmented_reduce_tree(buf, 4)
+        np.testing.assert_array_equal(buf, np.ones(4))
+
+    @given(
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=40)
+    def test_property_matches_blockwise_sum(self, log_width, nseg, seed):
+        width = 2**log_width
+        rng = np.random.default_rng(seed)
+        buf = rng.standard_normal(nseg * width)
+        if nseg == 0:
+            out = segmented_reduce_tree(buf, width)
+            assert len(out) == 0
+            return
+        out = segmented_reduce_tree(buf, width)
+        expected = buf.reshape(nseg, width).sum(axis=1)
+        np.testing.assert_allclose(out, expected, atol=1e-9)
