@@ -53,6 +53,12 @@ from repro.formats import (
     write_matrix_market,
 )
 from repro.kernels import DEFAULT_KERNEL_NAMES, get_kernel, kernel_registry
+from repro.serve import (
+    MatrixFingerprint,
+    PlanCache,
+    SpMVServer,
+    fingerprint_matrix,
+)
 from repro.spgemm import BinnedSpGEMM, spgemm_reference
 from repro.matrices import (
     REPRESENTATIVE_NAMES,
@@ -99,6 +105,11 @@ __all__ = [
     "SingleKernelSpMV",
     "CSRAdaptiveSpMV",
     "MergeSpMV",
+    # serving layer
+    "SpMVServer",
+    "PlanCache",
+    "MatrixFingerprint",
+    "fingerprint_matrix",
     # extensions (paper SI / SVI generalisations)
     "BinnedSpGEMM",
     "spgemm_reference",

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands cover the deployment workflow:
+Five commands cover the deployment workflow:
 
 - ``train``  -- offline-train a tuner on a synthetic corpus (or point it
   at a directory of Matrix Market files) and save it to JSON;
@@ -9,6 +9,9 @@ Four commands cover the deployment workflow:
 - ``run``    -- plan + execute an SpMV, verify the result, and compare
   the simulated time against the single-kernel and CSR-Adaptive
   baselines;
+- ``serve-demo`` -- drive an :class:`~repro.serve.SpMVServer` with
+  repeated single and batched traffic and print the serving stats
+  (plan-cache hit rate, per-stage seconds, launches amortised);
 - ``info``   -- show the simulated device and the kernel pool.
 
 Examples
@@ -18,6 +21,7 @@ Examples
     python -m repro train --matrices 150 --out tuner.json
     python -m repro plan --model tuner.json --matrix road_network:50000
     python -m repro run  --model tuner.json --matrix my_matrix.mtx
+    python -m repro serve-demo --requests 32 --batch 8
     python -m repro info
 """
 
@@ -40,6 +44,7 @@ from repro.formats.matrixmarket import read_matrix_market
 from repro.kernels.registry import DEFAULT_KERNEL_NAMES
 from repro.matrices import generators as gen
 from repro.matrices.collection import generate_collection
+from repro.serve import SpMVServer
 
 __all__ = ["main", "build_parser", "load_matrix"]
 
@@ -147,6 +152,43 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_serve_demo(args: argparse.Namespace) -> int:
+    """Simulate repeated + batched traffic against one server instance."""
+    rng = np.random.default_rng(args.seed)
+    if args.model:
+        tuner = AutoTuner.load(args.model)
+        server = SpMVServer(tuner, cache_capacity=args.cache_capacity)
+        print(f"serving with tuner {args.model}")
+    else:
+        server = SpMVServer(cache_capacity=args.cache_capacity)
+        print("serving with the heuristic planner (no --model given)")
+
+    families = sorted(_CLI_FAMILIES)
+    matrices = [
+        _CLI_FAMILIES[families[i % len(families)]](args.size, args.seed + i)
+        for i in range(args.matrices)
+    ]
+    print(f"workload: {args.matrices} distinct matrices of ~{args.size} rows, "
+          f"{args.requests} single + {args.batches} batched (k={args.batch}) "
+          f"requests\n")
+
+    ok = True
+    for i in range(args.requests):
+        m = matrices[i % len(matrices)]
+        x = rng.standard_normal(m.ncols)
+        res = server.submit(m, x)
+        ok &= bool(np.allclose(res.y, m @ x, atol=1e-8))
+    for i in range(args.batches):
+        m = matrices[i % len(matrices)]
+        X = rng.standard_normal((m.ncols, args.batch))
+        res = server.submit_batch(m, X)
+        ok &= bool(np.allclose(res.y, m @ X, atol=1e-8))
+
+    print(server.stats().describe())
+    print(f"\nall results verified: {'OK' if ok else 'MISMATCH'}")
+    return 0 if ok else 1
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     spec = DeviceSpec.kaveri_apu()
     print(f"simulated device: {spec.name}")
@@ -199,6 +241,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--matrix", required=True)
     p_run.add_argument("--seed", type=int, default=0)
     p_run.set_defaults(func=_cmd_run)
+
+    p_serve = sub.add_parser(
+        "serve-demo",
+        help="drive an SpMVServer with repeated + batched traffic",
+    )
+    p_serve.add_argument("--model", default=None,
+                         help="trained tuner JSON (heuristic planner if "
+                              "omitted)")
+    p_serve.add_argument("--matrices", type=int, default=4,
+                         help="distinct sparsity patterns in the workload")
+    p_serve.add_argument("--size", type=int, default=2000,
+                         help="rows per synthetic matrix")
+    p_serve.add_argument("--requests", type=int, default=16,
+                         help="single-RHS submissions")
+    p_serve.add_argument("--batches", type=int, default=2,
+                         help="batched submissions")
+    p_serve.add_argument("--batch", type=int, default=8,
+                         help="right-hand sides per batched submission")
+    p_serve.add_argument("--cache-capacity", type=int, default=32)
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.set_defaults(func=_cmd_serve_demo)
 
     p_info = sub.add_parser("info", help="device + kernel pool summary")
     p_info.set_defaults(func=_cmd_info)

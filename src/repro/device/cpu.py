@@ -23,7 +23,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.errors import ShapeError
+from repro.errors import DeviceError, ShapeError
 from repro.formats.csr import CSRMatrix
 from repro.utils.primitives import segmented_sum
 
@@ -67,18 +67,42 @@ class CPUExecutor:
             raise ValueError(f"n_threads must be > 0, got {n_threads}")
         self.n_threads = int(n_threads)
         self._pool: Optional[ThreadPoolExecutor] = None
+        self._closed = False
 
     # -- lifecycle -------------------------------------------------------
     def __enter__(self) -> "CPUExecutor":
-        self._pool = ThreadPoolExecutor(max_workers=self.n_threads)
+        if self._closed:
+            raise DeviceError("CPUExecutor is closed; create a new instance")
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.n_threads)
         return self
 
     def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut the pool down permanently.
+
+        A closed executor raises :class:`~repro.errors.DeviceError` on
+        any further ``spmv``/``spmm`` call rather than silently spinning
+        up a fresh pool -- use-after-close is a caller bug, and lazily
+        resurrecting threads hid it.
+        """
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` (or ``__exit__``) has run."""
+        return self._closed
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._closed:
+            raise DeviceError(
+                "CPUExecutor used after close(); create a new instance"
+            )
         if self._pool is None:
             self._pool = ThreadPoolExecutor(max_workers=self.n_threads)
         return self._pool

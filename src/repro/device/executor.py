@@ -19,9 +19,10 @@ from repro.device.memory import effective_gather_locality
 from repro.device.spec import DeviceSpec
 from repro.errors import DeviceError, ShapeError
 from repro.formats.csr import CSRMatrix
-from repro.kernels.base import Kernel
+from repro.kernels.base import Kernel, row_products_batch
+from repro.utils.primitives import segmented_sum_2d
 
-__all__ = ["SimulatedDevice", "SpMVResult", "Dispatch"]
+__all__ = ["SimulatedDevice", "SpMVResult", "SpMMResult", "Dispatch"]
 
 #: One unit of launch work: a kernel and the actual row indices it covers.
 Dispatch = Tuple[Kernel, np.ndarray]
@@ -46,6 +47,52 @@ class SpMVResult:
         return len(self.dispatch_seconds)
 
 
+@dataclass(frozen=True)
+class SpMMResult:
+    """Outcome of one simulated *batched* (multi-RHS) execution."""
+
+    #: The numerical result block (``nrows x k``).
+    U: np.ndarray
+    #: Total simulated seconds (kernel time + launch overheads).
+    seconds: float
+    #: Per-dispatch simulated seconds (excluding the fixed launch cost).
+    dispatch_seconds: Tuple[float, ...]
+    #: Seconds spent in fixed kernel-launch overhead.
+    launch_seconds: float
+    #: Number of right-hand sides served by the single dispatch sequence.
+    n_rhs: int
+
+    @property
+    def n_dispatches(self) -> int:
+        """Number of kernel launches the plan needed (independent of k)."""
+        return len(self.dispatch_seconds)
+
+
+def _scale_stats_for_rhs(stats: DispatchStats, n_rhs: int) -> DispatchStats:
+    """Multi-RHS cost scaling for one dispatch.
+
+    Streaming terms grow with the batch width: every extra column pays
+    its own gather/store traffic and its own FMAs, so ``memory_lines``
+    and the instruction counts scale by ``k``.  The latency chain does
+    not -- the column walk that produces the dependent loads is traversed
+    once, with the extra columns riding on the same ``colidx`` stream --
+    and the dispatch geometry (waves, workgroups, LDS) is unchanged, so
+    the plan's launch overhead is paid once however wide the batch is.
+    """
+    if n_rhs <= 1:
+        return stats
+    k = float(n_rhs)
+    return DispatchStats(
+        compute_instructions=stats.compute_instructions * k,
+        longest_wave_instructions=stats.longest_wave_instructions * k,
+        longest_dependent_iterations=stats.longest_dependent_iterations,
+        memory_lines=stats.memory_lines * k,
+        n_waves=stats.n_waves,
+        n_workgroups=stats.n_workgroups,
+        lds_bytes_per_wg=stats.lds_bytes_per_wg,
+    )
+
+
 class SimulatedDevice:
     """Executes kernel dispatch sequences on the analytical device model."""
 
@@ -60,9 +107,17 @@ class SimulatedDevice:
         locality: float,
         *,
         include_launch: bool = True,
+        n_rhs: int = 1,
     ) -> float:
-        """Simulated seconds for one kernel launch over the given rows."""
-        stats = kernel.cost(row_lengths, locality, self.spec)
+        """Simulated seconds for one kernel launch over the given rows.
+
+        ``n_rhs > 1`` accounts a batched (multi-RHS) launch: bandwidth
+        and instruction terms scale with the batch width while the
+        launch overhead stays fixed (see :func:`_scale_stats_for_rhs`).
+        """
+        stats = _scale_stats_for_rhs(
+            kernel.cost(row_lengths, locality, self.spec), n_rhs
+        )
         t = dispatch_seconds(stats, self.spec)
         if include_launch and len(np.atleast_1d(row_lengths)) > 0:
             t += self.spec.seconds(self.spec.kernel_launch_cycles)
@@ -114,17 +169,7 @@ class SimulatedDevice:
              else float(locality))
 
         if check_coverage:
-            covered = np.concatenate(
-                [np.asarray(rows, dtype=np.int64) for _, rows in dispatches]
-            ) if dispatches else np.zeros(0, dtype=np.int64)
-            if len(covered) != matrix.nrows or (
-                len(covered)
-                and not np.array_equal(np.sort(covered), np.arange(matrix.nrows))
-            ):
-                raise DeviceError(
-                    f"dispatches cover {len(covered)} rows "
-                    f"(unique {len(np.unique(covered))}), matrix has {matrix.nrows}"
-                )
+            self._check_coverage(matrix, dispatches)
 
         u = np.zeros(matrix.nrows)
         lengths = matrix.row_lengths()
@@ -148,4 +193,82 @@ class SimulatedDevice:
             seconds=total,
             dispatch_seconds=tuple(times),
             launch_seconds=launch_s,
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_coverage(
+        matrix: CSRMatrix, dispatches: Sequence[Dispatch]
+    ) -> None:
+        """Raise unless the dispatches partition the matrix's row set."""
+        covered = np.concatenate(
+            [np.asarray(rows, dtype=np.int64) for _, rows in dispatches]
+        ) if dispatches else np.zeros(0, dtype=np.int64)
+        if len(covered) != matrix.nrows or (
+            len(covered)
+            and not np.array_equal(np.sort(covered), np.arange(matrix.nrows))
+        ):
+            raise DeviceError(
+                f"dispatches cover {len(covered)} rows "
+                f"(unique {len(np.unique(covered))}), matrix has {matrix.nrows}"
+            )
+
+    # ------------------------------------------------------------------
+    def run_spmm(
+        self,
+        matrix: CSRMatrix,
+        dense: np.ndarray,
+        dispatches: Sequence[Dispatch],
+        *,
+        locality: Optional[float] = None,
+        check_coverage: bool = True,
+        extra_seconds: float = 0.0,
+    ) -> SpMMResult:
+        """Execute one binned plan against a multi-RHS block ``(ncols, k)``.
+
+        The batched counterpart of :meth:`run_spmv`: the same dispatch
+        sequence runs *once*, each launch computing all ``k`` output
+        columns of its rows in a single gather + ``reduceat`` pass.
+        Column ``j`` of the result is bit-identical to
+        ``run_spmv(matrix, dense[:, j], dispatches).u``; simulated time
+        charges each launch (and ``extra_seconds``, e.g. binning
+        overhead) once, with bandwidth/instruction terms scaled by ``k``.
+        """
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2 or dense.shape[0] != matrix.ncols:
+            raise ShapeError(
+                f"operand has shape {dense.shape}, expected "
+                f"({matrix.ncols}, k)"
+            )
+        k = dense.shape[1]
+        g = (effective_gather_locality(matrix, self.spec) if locality is None
+             else float(locality))
+
+        if check_coverage:
+            self._check_coverage(matrix, dispatches)
+
+        U = np.zeros((matrix.nrows, k))
+        lengths = matrix.row_lengths()
+        times: List[float] = []
+        launches = 0
+        for kernel, rows in dispatches:
+            rows = np.asarray(rows, dtype=np.int64)
+            if len(rows) == 0:
+                continue
+            products, offsets = row_products_batch(matrix, dense, rows)
+            U[rows] = segmented_sum_2d(products, offsets)
+            times.append(
+                self.time_dispatch(
+                    kernel, lengths[rows], g, include_launch=False, n_rhs=k
+                )
+            )
+            launches += 1
+        launch_s = launches * self.spec.seconds(self.spec.kernel_launch_cycles)
+        total = float(sum(times) + launch_s + extra_seconds)
+        return SpMMResult(
+            U=U,
+            seconds=total,
+            dispatch_seconds=tuple(times),
+            launch_seconds=launch_s,
+            n_rhs=k,
         )

@@ -1,0 +1,50 @@
+"""Serving layer: amortise tuning cost across repeated SpMV traffic.
+
+The paper's pipeline (features -> classifier -> binning -> launch) runs
+per matrix; a server handling heavy repeated traffic must not re-pay the
+inspector on every call.  This subpackage adds the three pieces that
+make tuned SpMV *reusable*:
+
+- :mod:`repro.serve.fingerprint` -- cheap structural hashing, so
+  identical sparsity patterns are recognised across calls (values are
+  free to change, as in iterative solvers);
+- :mod:`repro.serve.plan_cache` -- a bounded LRU map from fingerprint to
+  :class:`~repro.core.plan.ExecutionPlan`, with hit/miss/eviction
+  counters and explicit invalidation;
+- :mod:`repro.serve.batch` -- one plan against a multi-RHS block in a
+  single dispatch sequence, on the simulated device and the real CPU;
+- :mod:`repro.serve.server` -- the :class:`SpMVServer` façade tying it
+  together behind ``submit`` / ``submit_batch`` with observable stats.
+"""
+
+from repro.serve.batch import (
+    CPUBatchResult,
+    cpu_batch_spmm,
+    iter_column_blocks,
+    run_plan_spmm,
+    run_plan_spmv,
+)
+from repro.serve.fingerprint import MatrixFingerprint, fingerprint_matrix
+from repro.serve.plan_cache import CacheStats, PlanCache
+from repro.serve.server import (
+    ServerStats,
+    SpMVServer,
+    SubmitResult,
+    heuristic_planner,
+)
+
+__all__ = [
+    "MatrixFingerprint",
+    "fingerprint_matrix",
+    "CacheStats",
+    "PlanCache",
+    "run_plan_spmv",
+    "run_plan_spmm",
+    "cpu_batch_spmm",
+    "iter_column_blocks",
+    "CPUBatchResult",
+    "SpMVServer",
+    "ServerStats",
+    "SubmitResult",
+    "heuristic_planner",
+]

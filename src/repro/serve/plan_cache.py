@@ -1,0 +1,123 @@
+"""LRU cache of execution plans keyed by matrix fingerprint.
+
+The cache is the amortisation mechanism of the serving layer: the first
+request for a sparsity pattern pays feature extraction + classifier
+consultation + binning; every later request with the same pattern reuses
+the stored :class:`~repro.core.plan.ExecutionPlan` object unchanged.
+Capacity is bounded (a server holding plans for millions of distinct
+patterns would itself become the memory problem), with
+least-recently-used eviction and observable hit/miss/eviction counters.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.plan import ExecutionPlan
+from repro.serve.fingerprint import MatrixFingerprint
+
+__all__ = ["CacheStats", "PlanCache"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Point-in-time counters of one :class:`PlanCache`."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    capacity: int
+
+    @property
+    def lookups(self) -> int:
+        """Total ``get`` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when never used)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses}, "
+            f"evictions={self.evictions}, size={self.size}/{self.capacity}, "
+            f"hit_rate={self.hit_rate:.1%})"
+        )
+
+
+class PlanCache:
+    """Bounded fingerprint -> :class:`ExecutionPlan` LRU map."""
+
+    def __init__(self, capacity: int = 128):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity}")
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[MatrixFingerprint, ExecutionPlan]" = (
+            OrderedDict()
+        )
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # -- lookups ---------------------------------------------------------
+    def get(self, fp: MatrixFingerprint) -> Optional[ExecutionPlan]:
+        """The cached plan for ``fp`` (refreshing recency), else ``None``."""
+        plan = self._entries.get(fp)
+        if plan is None:
+            self._misses += 1
+            return None
+        self._entries.move_to_end(fp)
+        self._hits += 1
+        return plan
+
+    def put(self, fp: MatrixFingerprint, plan: ExecutionPlan) -> None:
+        """Insert (or refresh) a plan, evicting the LRU entry if full."""
+        if fp in self._entries:
+            self._entries.move_to_end(fp)
+        self._entries[fp] = plan
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+
+    def get_or_build(
+        self,
+        fp: MatrixFingerprint,
+        builder: Callable[[], ExecutionPlan],
+    ) -> tuple[ExecutionPlan, bool]:
+        """``(plan, was_hit)``; runs ``builder`` and stores on a miss."""
+        plan = self.get(fp)
+        if plan is not None:
+            return plan, True
+        plan = builder()
+        self.put(fp, plan)
+        return plan, False
+
+    # -- invalidation ----------------------------------------------------
+    def invalidate(self, fp: MatrixFingerprint) -> bool:
+        """Drop one entry (e.g. after a device-spec change); True if present."""
+        return self._entries.pop(fp, None) is not None
+
+    def clear(self) -> None:
+        """Drop every entry; counters are preserved."""
+        self._entries.clear()
+
+    # -- introspection ---------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, fp: MatrixFingerprint) -> bool:
+        return fp in self._entries
+
+    def stats(self) -> CacheStats:
+        """Immutable snapshot of the counters."""
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            size=len(self._entries),
+            capacity=self.capacity,
+        )

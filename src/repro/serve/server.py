@@ -1,0 +1,270 @@
+"""``SpMVServer``: a façade that makes tuned SpMV reusable and batched.
+
+The paper's framework pays feature extraction, classifier consultation
+and binning for *every* matrix -- fine for one-shot benchmarking, wrong
+for serving repeated traffic.  The server splits that cost along the
+inspector--executor line:
+
+1. **fingerprint** the incoming matrix's sparsity structure (cheap hash);
+2. **plan-or-hit**: consult the LRU plan cache; only a miss runs the
+   planner (the tuner's predict phase, or a heuristic fallback);
+3. **execute** the plan -- single vector or a whole multi-RHS block in
+   one dispatch sequence;
+4. account everything in an observable stats snapshot.
+
+Iterative solvers, time-stepping codes and PageRank-style workloads all
+re-submit one pattern with changing values; after the first request they
+run plan-free.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Union
+
+import numpy as np
+
+from repro.core.plan import ExecutionPlan
+from repro.binning.single import SingleBinning
+from repro.device.executor import SimulatedDevice, SpMMResult, SpMVResult
+from repro.formats.csr import CSRMatrix
+from repro.serve.batch import run_plan_spmm, run_plan_spmv
+from repro.serve.fingerprint import MatrixFingerprint, fingerprint_matrix
+from repro.serve.plan_cache import CacheStats, PlanCache
+
+__all__ = ["SpMVServer", "ServerStats", "SubmitResult", "heuristic_planner"]
+
+#: Signature of anything that can produce a plan for a new matrix.
+Planner = Callable[[CSRMatrix], ExecutionPlan]
+
+
+def heuristic_planner(matrix: CSRMatrix) -> ExecutionPlan:
+    """Zero-training fallback planner: single bin, one width-matched kernel.
+
+    Picks the subvector width nearest the mean row length (the paper's
+    own rule of thumb for uniform matrices), degrading to ``serial`` for
+    very short rows and ``vector`` for very long ones.  This keeps the
+    server usable without a fitted :class:`~repro.core.framework.AutoTuner`;
+    pass one for input-aware plans.
+    """
+    binning = SingleBinning().bin_rows(matrix)
+    mean = matrix.nnz / matrix.nrows if matrix.nrows else 0.0
+    if mean <= 2.0:
+        kernel = "serial"
+    elif mean >= 192.0:
+        kernel = "vector"
+    else:
+        width = int(min(128, max(2, 2 ** round(np.log2(max(mean, 2.0))))))
+        kernel = f"subvector{width}"
+    bin_kernels = {b: kernel for b, _ in binning.non_empty()}
+    return ExecutionPlan(
+        scheme=SingleBinning(),
+        binning=binning,
+        bin_kernels=bin_kernels,
+        source="heuristic",
+    )
+
+
+@dataclass(frozen=True)
+class SubmitResult:
+    """Outcome of one ``submit``/``submit_batch`` call."""
+
+    #: Result: shape ``(nrows,)`` for submit, ``(nrows, k)`` for batch.
+    y: np.ndarray
+    #: Simulated seconds the execution was accounted.
+    seconds: float
+    #: Kernel launches in the (single) dispatch sequence this call issued.
+    n_dispatches: int
+    #: True when the plan came from the cache (planning skipped).
+    cache_hit: bool
+    fingerprint: MatrixFingerprint
+    plan: ExecutionPlan
+
+
+@dataclass(frozen=True)
+class ServerStats:
+    """Point-in-time snapshot of a server's accounting."""
+
+    #: Total ``submit`` + ``submit_batch`` calls.
+    requests: int
+    #: ``submit_batch`` calls only.
+    batch_requests: int
+    #: Right-hand sides served (a k-wide batch counts k).
+    rhs_served: int
+    #: Dispatch sequences issued (one per request, however wide).
+    dispatch_sequences: int
+    #: Individual kernel launches across all sequences.
+    kernel_launches: int
+    #: Accumulated simulated execution seconds.
+    simulated_seconds: float
+    #: Wall seconds per serving stage (``fingerprint``/``plan``/``execute``).
+    stage_seconds: Dict[str, float]
+    cache: CacheStats
+
+    @property
+    def hit_rate(self) -> float:
+        """Plan-cache hit rate over all requests."""
+        return self.cache.hit_rate
+
+    def describe(self) -> str:
+        """Readable multi-line summary (CLI / logs)."""
+        lines = [
+            f"requests           : {self.requests} "
+            f"({self.batch_requests} batched, {self.rhs_served} RHS total)",
+            f"plan cache         : {self.cache.hits} hits / "
+            f"{self.cache.misses} misses / {self.cache.evictions} evictions "
+            f"(hit rate {self.hit_rate:.1%}, size "
+            f"{self.cache.size}/{self.cache.capacity})",
+            f"dispatch sequences : {self.dispatch_sequences} "
+            f"({self.kernel_launches} kernel launches)",
+            f"simulated exec time: {self.simulated_seconds * 1e3:.3f} ms",
+        ]
+        for stage in ("fingerprint", "plan", "execute"):
+            lines.append(
+                f"  {stage + ' stage':<17s}: "
+                f"{self.stage_seconds.get(stage, 0.0) * 1e3:.3f} ms wall"
+            )
+        return "\n".join(lines)
+
+
+class SpMVServer:
+    """Serving façade over fingerprinting, plan caching and batching.
+
+    Parameters
+    ----------
+    tuner:
+        A *fitted* :class:`~repro.core.framework.AutoTuner`; its
+        ``plan`` method becomes the planner and its device executes.
+        Optional -- without one, :func:`heuristic_planner` plans.
+    planner:
+        Explicit planner callable, overriding ``tuner``'s.
+    device:
+        Execution device; defaults to the tuner's (or a fresh
+        :class:`SimulatedDevice`).
+    cache_capacity:
+        Bound on distinct sparsity patterns kept planned.
+    max_rhs:
+        Optional cap on columns per batched pass (wider submissions are
+        column-blocked internally; still one request in the stats).
+    """
+
+    def __init__(
+        self,
+        tuner=None,
+        *,
+        planner: Optional[Planner] = None,
+        device: Optional[SimulatedDevice] = None,
+        cache_capacity: int = 128,
+        max_rhs: Optional[int] = None,
+    ):
+        if planner is not None:
+            self._planner: Planner = planner
+        elif tuner is not None:
+            self._planner = tuner.plan
+        else:
+            self._planner = heuristic_planner
+        if device is not None:
+            self.device = device
+        elif tuner is not None:
+            self.device = tuner.device
+        else:
+            self.device = SimulatedDevice()
+        self.cache = PlanCache(capacity=cache_capacity)
+        self.max_rhs = max_rhs
+        self._requests = 0
+        self._batch_requests = 0
+        self._rhs_served = 0
+        self._dispatch_sequences = 0
+        self._kernel_launches = 0
+        self._simulated_seconds = 0.0
+        self._stage_seconds: Dict[str, float] = {
+            "fingerprint": 0.0, "plan": 0.0, "execute": 0.0,
+        }
+
+    # -- planning --------------------------------------------------------
+    def _plan_for(
+        self, matrix: CSRMatrix
+    ) -> tuple[ExecutionPlan, MatrixFingerprint, bool]:
+        t0 = time.perf_counter()
+        fp = fingerprint_matrix(matrix)
+        t1 = time.perf_counter()
+        self._stage_seconds["fingerprint"] += t1 - t0
+        plan, hit = self.cache.get_or_build(fp, lambda: self._planner(matrix))
+        self._stage_seconds["plan"] += time.perf_counter() - t1
+        return plan, fp, hit
+
+    # -- serving ---------------------------------------------------------
+    def submit(self, matrix: CSRMatrix, x: np.ndarray) -> SubmitResult:
+        """Serve one SpMV request: fingerprint, plan-or-hit, execute."""
+        plan, fp, hit = self._plan_for(matrix)
+        t0 = time.perf_counter()
+        res: SpMVResult = run_plan_spmv(self.device, matrix, x, plan)
+        self._stage_seconds["execute"] += time.perf_counter() - t0
+        self._account(res.seconds, res.n_dispatches, n_rhs=1, batch=False)
+        return SubmitResult(
+            y=res.u,
+            seconds=res.seconds,
+            n_dispatches=res.n_dispatches,
+            cache_hit=hit,
+            fingerprint=fp,
+            plan=plan,
+        )
+
+    def submit_batch(self, matrix: CSRMatrix, X: np.ndarray) -> SubmitResult:
+        """Serve ``k`` right-hand sides with a single dispatch sequence.
+
+        Column ``j`` of the result is bit-identical to
+        ``submit(matrix, X[:, j]).y``, but the plan (and its binning
+        overhead and kernel launches) is charged once for the block.
+        """
+        plan, fp, hit = self._plan_for(matrix)
+        t0 = time.perf_counter()
+        res: SpMMResult = run_plan_spmm(
+            self.device, matrix, X, plan, max_rhs=self.max_rhs
+        )
+        self._stage_seconds["execute"] += time.perf_counter() - t0
+        self._account(
+            res.seconds, res.n_dispatches, n_rhs=res.n_rhs, batch=True
+        )
+        return SubmitResult(
+            y=res.U,
+            seconds=res.seconds,
+            n_dispatches=res.n_dispatches,
+            cache_hit=hit,
+            fingerprint=fp,
+            plan=plan,
+        )
+
+    def _account(
+        self, seconds: float, launches: int, *, n_rhs: int, batch: bool
+    ) -> None:
+        self._requests += 1
+        self._batch_requests += 1 if batch else 0
+        self._rhs_served += n_rhs
+        self._dispatch_sequences += 1
+        self._kernel_launches += launches
+        self._simulated_seconds += seconds
+
+    # -- cache control ---------------------------------------------------
+    def invalidate(self, matrix: CSRMatrix) -> bool:
+        """Drop the cached plan for this matrix's pattern, if any."""
+        return self.cache.invalidate(fingerprint_matrix(matrix))
+
+    def clear_cache(self) -> None:
+        """Drop every cached plan (counters survive)."""
+        self.cache.clear()
+
+    # -- observability ---------------------------------------------------
+    def stats(self) -> ServerStats:
+        """Immutable snapshot of all serving counters."""
+        return ServerStats(
+            requests=self._requests,
+            batch_requests=self._batch_requests,
+            rhs_served=self._rhs_served,
+            dispatch_sequences=self._dispatch_sequences,
+            kernel_launches=self._kernel_launches,
+            simulated_seconds=self._simulated_seconds,
+            stage_seconds=dict(self._stage_seconds),
+            cache=self.cache.stats(),
+        )

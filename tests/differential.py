@@ -1,0 +1,143 @@
+"""Differential test harness: pathological matrices + reference oracles.
+
+Every execution path this repository grows -- kernels, binning schemes,
+the simulated device, the real CPU executor, batched serving -- must
+stay numerically faithful to the reference ``y = A @ x``.  This module
+is the shared ammunition for that check: a seeded generator of
+pathological sparsity shapes (the structures that historically break
+SpMV implementations) and reference oracles computed with
+``scipy.sparse`` when available, dense NumPy otherwise.
+
+The generated values are *positive* (uniform in ``[0.5, 1.5)``) on
+purpose: partial sums then never cancel, so a ``1e-10`` relative
+tolerance is meaningful for every association order a parallel
+reduction might use.  Structure, not value sign, is what these cases
+stress.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.formats.csr import CSRMatrix
+
+__all__ = [
+    "pathological_matrices",
+    "make_rhs",
+    "make_rhs_block",
+    "reference_spmv",
+    "reference_spmm",
+    "assert_matches_reference",
+]
+
+#: Relative tolerance every execution path must meet against the oracle.
+RTOL = 1e-10
+#: Absolute floor for exactly-zero entries (empty rows).
+ATOL = 1e-12
+
+
+def _positive_values(matrix: CSRMatrix, rng: np.random.Generator) -> CSRMatrix:
+    """Same structure, values re-drawn positive (cancellation-free)."""
+    return CSRMatrix(
+        matrix.rowptr, matrix.colidx,
+        rng.random(matrix.nnz) + 0.5, matrix.shape,
+    )
+
+
+def _from_lengths(
+    lengths, ncols: int, rng: np.random.Generator
+) -> CSRMatrix:
+    m = CSRMatrix.from_row_lengths(
+        np.asarray(lengths, dtype=np.int64), ncols, rng=rng
+    )
+    return _positive_values(m, rng)
+
+
+def pathological_matrices(seed: int = 0) -> List[Tuple[str, CSRMatrix]]:
+    """The seeded sweep of pathological sparsity shapes.
+
+    Covers the classic SpMV breakers: all-empty matrices, degenerate
+    ``1 x N`` / ``N x 1`` shapes, empty rows interleaved with work, a
+    single dense row dominating an otherwise-sparse matrix, power-law
+    (scale-free) row lengths, and ragged/uniform controls.
+    """
+    rng = np.random.default_rng(seed)
+    cases: List[Tuple[str, CSRMatrix]] = []
+
+    # Degenerate shapes ------------------------------------------------
+    cases.append(("all_empty", CSRMatrix.empty((7, 5))))
+    cases.append(("zero_rows", CSRMatrix.empty((0, 4))))
+    cases.append(("one_by_n", _from_lengths([23], 40, rng)))
+    n_by_one = rng.integers(0, 2, size=37)  # 37 x 1, rows hold 0 or 1 nnz
+    cases.append(("n_by_one", _from_lengths(n_by_one, 1, rng)))
+
+    # Empty rows mixed with real work ----------------------------------
+    mix = np.zeros(48, dtype=np.int64)
+    mix[::3] = rng.integers(1, 9, size=len(mix[::3]))
+    cases.append(("empty_rows_mix", _from_lengths(mix, 64, rng)))
+
+    # One dense row dwarfing everything else ---------------------------
+    dense_row = np.concatenate([[96], rng.integers(0, 3, size=29)])
+    cases.append(("single_dense_row", _from_lengths(dense_row, 96, rng)))
+
+    # Power-law (scale-free graph) row lengths -------------------------
+    zipf = np.minimum(rng.zipf(1.6, size=120), 80).astype(np.int64)
+    zipf[rng.random(120) < 0.15] = 0
+    cases.append(("power_law_rows", _from_lengths(zipf, 128, rng)))
+
+    # Controls: uniform, ragged-wide, tall-skinny ----------------------
+    cases.append((
+        "uniform_small", _from_lengths(np.full(50, 8), 50, rng)
+    ))
+    cases.append(("wide_short", _from_lengths(np.full(18, 3), 300, rng)))
+    cases.append((
+        "tall_ragged",
+        _from_lengths(rng.integers(0, 5, size=160), 12, rng),
+    ))
+
+    return cases
+
+
+def make_rhs(matrix: CSRMatrix, seed: int = 0) -> np.ndarray:
+    """A positive right-hand side sized to the matrix."""
+    return np.random.default_rng(seed).random(matrix.ncols) + 0.5
+
+
+def make_rhs_block(matrix: CSRMatrix, k: int, seed: int = 0) -> np.ndarray:
+    """A positive ``(ncols, k)`` block of right-hand sides."""
+    return np.random.default_rng(seed).random((matrix.ncols, k)) + 0.5
+
+
+def reference_spmv(matrix: CSRMatrix, x: np.ndarray) -> np.ndarray:
+    """Oracle ``A @ x`` via scipy.sparse (dense NumPy fallback)."""
+    try:
+        return np.asarray(matrix.to_scipy() @ x)
+    except ImportError:  # pragma: no cover - scipy is an install dep
+        return matrix.to_dense() @ x
+
+
+def reference_spmm(matrix: CSRMatrix, X: np.ndarray) -> np.ndarray:
+    """Oracle ``A @ X`` for a dense RHS block."""
+    try:
+        return np.asarray(matrix.to_scipy() @ X)
+    except ImportError:  # pragma: no cover - scipy is an install dep
+        return matrix.to_dense() @ X
+
+
+def assert_matches_reference(
+    actual: np.ndarray,
+    matrix: CSRMatrix,
+    rhs: np.ndarray,
+    *,
+    label: str = "",
+) -> None:
+    """Assert an execution path's output matches the oracle."""
+    ref = reference_spmm(matrix, rhs) if rhs.ndim == 2 else (
+        reference_spmv(matrix, rhs)
+    )
+    np.testing.assert_allclose(
+        actual, ref, rtol=RTOL, atol=ATOL,
+        err_msg=f"path {label!r} diverged from reference A @ x",
+    )

@@ -109,6 +109,30 @@ class TestCommands:
         assert main(["run", "--model", trained_model,
                      "--matrix", str(path)]) == 0
 
+    def test_serve_demo_heuristic(self, capsys):
+        code = main(
+            ["serve-demo", "--matrices", "2", "--size", "400",
+             "--requests", "6", "--batches", "1", "--batch", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hit rate" in out
+        assert "verified: OK" in out
+
+    def test_serve_demo_with_model(self, trained_model, capsys):
+        code = main(
+            ["serve-demo", "--model", trained_model, "--matrices", "2",
+             "--size", "400", "--requests", "4", "--batches", "1",
+             "--batch", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dispatch sequences" in out
+
+    def test_serve_demo_parser_defaults(self):
+        args = build_parser().parse_args(["serve-demo"])
+        assert args.batch == 8 and args.cache_capacity == 32
+
     def test_train_empty_mtx_dir(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["train", "--mtx-dir", str(tmp_path), "--out",

@@ -1,0 +1,183 @@
+"""Differential sweep: every execution path vs the reference ``A @ x``.
+
+Parametrised over the pathological matrix set in ``tests/differential.py``
+crossed with every execution path in the repository -- the nine kernels,
+all binning schemes, the simulated device, the real CPU executor (both
+partition strategies), and the batched single-dispatch-sequence paths of
+the serving layer.  Well over 200 (matrix, path) cases; each must match
+``scipy.sparse`` / dense ``A @ x`` to ``1e-10`` relative tolerance.
+
+Marked ``differential`` so CI can run the sweep as its own job
+(``pytest -m differential``); it also runs in the default tier-1 suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.binning import (
+    CoarseBinning,
+    FineBinning,
+    HybridBinning,
+    RowBlockBinning,
+    SingleBinning,
+)
+from repro.device import CPUExecutor, PartitionStrategy, SimulatedDevice
+from repro.kernels import DEFAULT_KERNEL_NAMES, get_kernel
+from repro.serve import SpMVServer, cpu_batch_spmm, run_plan_spmm
+from repro.serve.server import heuristic_planner
+
+from tests.differential import (
+    assert_matches_reference,
+    make_rhs,
+    make_rhs_block,
+    pathological_matrices,
+)
+
+pytestmark = pytest.mark.differential
+
+#: Built once; every test case indexes into this seeded sweep.
+MATRICES = pathological_matrices(seed=12345)
+MATRIX_IDS = [name for name, _ in MATRICES]
+
+SCHEMES = [
+    CoarseBinning(10),
+    CoarseBinning(1000),
+    FineBinning(),
+    HybridBinning(),
+    SingleBinning(),
+    RowBlockBinning(),
+]
+SCHEME_IDS = [s.name for s in SCHEMES]
+
+
+@pytest.fixture(params=MATRICES, ids=MATRIX_IDS)
+def case(request):
+    return request.param
+
+
+# ----------------------------------------------------------------------
+# Path 1: each of the nine kernels, whole matrix in one dispatch.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("kernel_name", DEFAULT_KERNEL_NAMES)
+def test_kernel_path(case, kernel_name):
+    name, m = case
+    x = make_rhs(m, seed=1)
+    dev = SimulatedDevice()
+    rows = np.arange(m.nrows, dtype=np.int64)
+    res = dev.run_spmv(m, x, [(get_kernel(kernel_name), rows)])
+    assert_matches_reference(res.u, m, x, label=f"{name}/{kernel_name}")
+
+
+# ----------------------------------------------------------------------
+# Path 2: every binning scheme, kernels cycled across its bins.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("scheme", SCHEMES, ids=SCHEME_IDS)
+def test_binning_path(case, scheme):
+    name, m = case
+    x = make_rhs(m, seed=2)
+    binning = scheme.bin_rows(m)
+    binning.validate_partition(m.nrows)
+    dispatches = [
+        (get_kernel(DEFAULT_KERNEL_NAMES[i % len(DEFAULT_KERNEL_NAMES)]),
+         rows)
+        for i, (_, rows) in enumerate(binning.non_empty())
+    ]
+    res = SimulatedDevice().run_spmv(m, x, dispatches)
+    assert_matches_reference(res.u, m, x, label=f"{name}/{scheme.name}")
+
+
+# ----------------------------------------------------------------------
+# Path 3: the real CPU executor, both partition strategies + serial.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("strategy", list(PartitionStrategy))
+def test_cpu_path(case, strategy):
+    name, m = case
+    x = make_rhs(m, seed=3)
+    with CPUExecutor(n_threads=3) as ex:
+        out = ex.spmv(m, x, strategy=strategy)
+    assert_matches_reference(out, m, x, label=f"{name}/cpu-{strategy.value}")
+
+
+def test_cpu_serial_path(case):
+    name, m = case
+    x = make_rhs(m, seed=4)
+    out = CPUExecutor(n_threads=1).spmv_serial(m, x)
+    assert_matches_reference(out, m, x, label=f"{name}/cpu-serial")
+
+
+# ----------------------------------------------------------------------
+# Path 4: batched simulated execution (single dispatch sequence).
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("scheme", [SingleBinning(), CoarseBinning(10)],
+                         ids=["single", "U=10"])
+@pytest.mark.parametrize("k", [1, 5])
+def test_batched_simulated_path(case, scheme, k):
+    name, m = case
+    X = make_rhs_block(m, k, seed=5)
+    binning = scheme.bin_rows(m)
+    dispatches = [
+        (get_kernel(DEFAULT_KERNEL_NAMES[i % len(DEFAULT_KERNEL_NAMES)]),
+         rows)
+        for i, (_, rows) in enumerate(binning.non_empty())
+    ]
+    res = SimulatedDevice().run_spmm(m, X, dispatches)
+    assert_matches_reference(
+        res.U, m, X, label=f"{name}/spmm-{scheme.name}-k{k}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Path 5: batched real-CPU execution, both partition strategies.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("strategy", list(PartitionStrategy))
+def test_batched_cpu_path(case, strategy):
+    name, m = case
+    X = make_rhs_block(m, 4, seed=6)
+    with CPUExecutor(n_threads=3) as ex:
+        res = cpu_batch_spmm(ex, m, X, strategy=strategy)
+    assert_matches_reference(
+        res.U, m, X, label=f"{name}/cpu-spmm-{strategy.value}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Path 6: the serving layer end to end (submit and submit_batch).
+# ----------------------------------------------------------------------
+def test_server_submit_path(case):
+    name, m = case
+    x = make_rhs(m, seed=7)
+    server = SpMVServer()
+    res = server.submit(m, x)
+    assert_matches_reference(res.y, m, x, label=f"{name}/serve-submit")
+
+
+def test_server_batch_path(case):
+    name, m = case
+    X = make_rhs_block(m, 6, seed=8)
+    server = SpMVServer()
+    res = server.submit_batch(m, X)
+    assert_matches_reference(res.y, m, X, label=f"{name}/serve-batch")
+
+
+def test_plan_batched_via_heuristic_plan(case):
+    name, m = case
+    X = make_rhs_block(m, 3, seed=9)
+    plan = heuristic_planner(m)
+    res = run_plan_spmm(SimulatedDevice(), m, X, plan, max_rhs=2)
+    assert_matches_reference(res.U, m, X, label=f"{name}/plan-spmm-chunked")
+
+
+# ----------------------------------------------------------------------
+# Sweep size guard: the acceptance bar is >= 200 (matrix, path) cases.
+# ----------------------------------------------------------------------
+def test_sweep_is_large_enough():
+    n_matrices = len(MATRICES)
+    per_matrix = (
+        len(DEFAULT_KERNEL_NAMES)      # kernel paths
+        + len(SCHEMES)                 # binning paths
+        + len(PartitionStrategy) + 1   # cpu paths (+ serial)
+        + 2 * 2                        # batched simulated (scheme x k)
+        + len(PartitionStrategy)       # batched cpu
+        + 3                            # serving paths
+    )
+    assert n_matrices * per_matrix >= 200

@@ -194,3 +194,88 @@ class TestCPUExecutor:
         b = ex.spmv(m, v)
         np.testing.assert_allclose(a, b)
         ex.__exit__()
+
+    def test_use_after_context_exit_raises(self, problem):
+        m, v = problem
+        with CPUExecutor(2) as ex:
+            ex.spmv(m, v)
+        assert ex.closed
+        with pytest.raises(DeviceError, match="close"):
+            ex.spmv(m, v)
+        with pytest.raises(DeviceError, match="close"):
+            ex.spmm(m, np.ones((m.ncols, 2)))
+
+    def test_use_after_explicit_close_raises(self, problem):
+        m, v = problem
+        ex = CPUExecutor(2)
+        ex.spmv(m, v)
+        ex.close()
+        ex.close()  # idempotent
+        assert ex.closed
+        with pytest.raises(DeviceError):
+            ex.spmv(m, v)
+
+    def test_reentering_closed_executor_raises(self):
+        ex = CPUExecutor(2)
+        ex.close()
+        with pytest.raises(DeviceError):
+            ex.__enter__()
+
+    def test_spmv_serial_still_works_after_close(self, problem):
+        # The serial path owns no pool; close() must not break it.
+        m, v = problem
+        ex = CPUExecutor(2)
+        ex.close()
+        np.testing.assert_allclose(ex.spmv_serial(m, v), m @ v, atol=1e-9)
+
+
+class TestSimulatedBatched:
+    @pytest.fixture(scope="class")
+    def problem(self):
+        m = gen.bimodal_rows(1_500, short_len=3, long_len=200, seed=5)
+        X = np.random.default_rng(6).standard_normal((m.ncols, 6))
+        return m, X
+
+    def test_columns_match_single_vector_runs(self, problem):
+        m, X = problem
+        dev = SimulatedDevice()
+        rows = np.arange(m.nrows)
+        dispatches = [(get_kernel("subvector8"), rows)]
+        batch = dev.run_spmm(m, X, dispatches)
+        for j in range(X.shape[1]):
+            single = dev.run_spmv(m, X[:, j], dispatches)
+            np.testing.assert_array_equal(batch.U[:, j], single.u)
+
+    def test_launch_overhead_charged_once_per_batch(self, problem):
+        m, X = problem
+        dev = SimulatedDevice()
+        dispatches = [(get_kernel("vector"), np.arange(m.nrows))]
+        batch = dev.run_spmm(m, X, dispatches)
+        single = dev.run_spmv(m, X[:, 0], dispatches)
+        assert batch.launch_seconds == pytest.approx(single.launch_seconds)
+        assert batch.n_dispatches == 1
+        assert batch.n_rhs == X.shape[1]
+
+    def test_batch_cheaper_than_k_singles(self, problem):
+        m, X = problem
+        dev = SimulatedDevice()
+        dispatches = [(get_kernel("vector"), np.arange(m.nrows))]
+        batch = dev.run_spmm(m, X, dispatches)
+        single = dev.run_spmv(m, X[:, 0], dispatches)
+        assert batch.seconds < X.shape[1] * single.seconds
+
+    def test_coverage_check_applies(self, problem):
+        m, X = problem
+        dev = SimulatedDevice()
+        with pytest.raises(DeviceError, match="cover"):
+            dev.run_spmm(m, X, [(get_kernel("serial"), np.array([0, 1]))])
+
+    def test_rejects_bad_operand_shape(self, problem):
+        m, _ = problem
+        dev = SimulatedDevice()
+        with pytest.raises(ShapeError):
+            dev.run_spmm(m, np.ones((m.ncols + 1, 2)),
+                         [(get_kernel("serial"), np.arange(m.nrows))])
+        with pytest.raises(ShapeError):
+            dev.run_spmm(m, np.ones(m.ncols),
+                         [(get_kernel("serial"), np.arange(m.nrows))])

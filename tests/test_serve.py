@@ -1,0 +1,281 @@
+"""Property tests for the serving layer (fingerprint, cache, server)."""
+
+import numpy as np
+import pytest
+
+from repro.core.plan import ExecutionPlan
+from repro.device import SimulatedDevice
+from repro.device.executor import SpMMResult
+from repro.errors import ShapeError
+from repro.formats import CSRMatrix
+from repro.matrices import generators as gen
+from repro.serve import (
+    PlanCache,
+    SpMVServer,
+    fingerprint_matrix,
+    iter_column_blocks,
+    run_plan_spmm,
+    run_plan_spmv,
+)
+from repro.serve.server import heuristic_planner
+
+
+def _matrix(seed=0, nrows=300, ncols=300):
+    rng = np.random.default_rng(seed)
+    lengths = rng.integers(0, 12, size=nrows)
+    return CSRMatrix.from_row_lengths(lengths, ncols, rng=rng)
+
+
+def _revalued(m: CSRMatrix, seed=99) -> CSRMatrix:
+    """Same sparsity pattern, completely different values."""
+    rng = np.random.default_rng(seed)
+    return CSRMatrix(m.rowptr, m.colidx, rng.standard_normal(m.nnz), m.shape)
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        m = _matrix(0)
+        assert fingerprint_matrix(m) == fingerprint_matrix(m)
+
+    def test_value_change_preserves_fingerprint(self):
+        # Iterative solvers re-submit one pattern with evolving values;
+        # the fingerprint must not see them.
+        m = _matrix(1)
+        assert fingerprint_matrix(m) == fingerprint_matrix(_revalued(m))
+
+    def test_pattern_change_changes_fingerprint(self):
+        m = _matrix(2)
+        colidx = m.colidx.copy()
+        colidx[0] = (colidx[0] + 1) % m.ncols
+        if colidx[0] == m.colidx[0]:  # pragma: no cover - ncols > 1 here
+            colidx[0] = (colidx[0] + 1) % m.ncols
+        other = CSRMatrix(m.rowptr, colidx, m.val, m.shape)
+        assert fingerprint_matrix(m) != fingerprint_matrix(other)
+
+    def test_row_structure_change_changes_fingerprint(self):
+        rng = np.random.default_rng(3)
+        a = CSRMatrix.from_row_lengths(np.array([2, 2]), 8, rng=rng)
+        b = CSRMatrix(np.array([0, 4, 4]), a.colidx, a.val, a.shape)
+        assert fingerprint_matrix(a) != fingerprint_matrix(b)
+
+    def test_shape_enters_fingerprint(self):
+        m = _matrix(4, nrows=50, ncols=60)
+        wider = CSRMatrix(m.rowptr, m.colidx, m.val, (m.nrows, m.ncols + 7))
+        assert fingerprint_matrix(m) != fingerprint_matrix(wider)
+
+    def test_fingerprint_is_hashable_key(self):
+        m = _matrix(5)
+        d = {fingerprint_matrix(m): "plan"}
+        assert d[fingerprint_matrix(_revalued(m))] == "plan"
+
+
+class TestPlanCache:
+    def _plan(self, m):
+        return heuristic_planner(m)
+
+    def test_get_miss_returns_none_and_counts(self):
+        cache = PlanCache(capacity=4)
+        assert cache.get(fingerprint_matrix(_matrix(0))) is None
+        s = cache.stats()
+        assert (s.hits, s.misses) == (0, 1)
+        assert s.hit_rate == 0.0
+
+    def test_hit_returns_same_plan_object(self):
+        cache = PlanCache(capacity=4)
+        m = _matrix(1)
+        fp = fingerprint_matrix(m)
+        plan = self._plan(m)
+        cache.put(fp, plan)
+        assert cache.get(fp) is plan
+        # And via a fingerprint computed from a revalued twin.
+        assert cache.get(fingerprint_matrix(_revalued(m))) is plan
+
+    def test_eviction_respects_capacity(self):
+        cache = PlanCache(capacity=3)
+        mats = [_matrix(seed) for seed in range(6)]
+        for m in mats:
+            cache.put(fingerprint_matrix(m), self._plan(m))
+        assert len(cache) == 3
+        assert cache.stats().evictions == 3
+        # Oldest three are gone, newest three are present.
+        for m in mats[:3]:
+            assert fingerprint_matrix(m) not in cache
+        for m in mats[3:]:
+            assert fingerprint_matrix(m) in cache
+
+    def test_lru_order_recently_used_survives(self):
+        cache = PlanCache(capacity=2)
+        a, b, c = (_matrix(s) for s in range(3))
+        fa, fb, fc = (fingerprint_matrix(m) for m in (a, b, c))
+        cache.put(fa, self._plan(a))
+        cache.put(fb, self._plan(b))
+        assert cache.get(fa) is not None  # refresh a; b is now LRU
+        cache.put(fc, self._plan(c))
+        assert fa in cache and fc in cache and fb not in cache
+
+    def test_get_or_build_builds_once(self):
+        cache = PlanCache(capacity=4)
+        m = _matrix(2)
+        fp = fingerprint_matrix(m)
+        calls = []
+
+        def builder():
+            calls.append(1)
+            return self._plan(m)
+
+        p1, hit1 = cache.get_or_build(fp, builder)
+        p2, hit2 = cache.get_or_build(fp, builder)
+        assert (hit1, hit2) == (False, True)
+        assert p1 is p2
+        assert len(calls) == 1
+
+    def test_invalidate(self):
+        cache = PlanCache(capacity=4)
+        m = _matrix(3)
+        fp = fingerprint_matrix(m)
+        cache.put(fp, self._plan(m))
+        assert cache.invalidate(fp) is True
+        assert cache.invalidate(fp) is False
+        assert cache.get(fp) is None
+
+    def test_clear_keeps_counters(self):
+        cache = PlanCache(capacity=4)
+        m = _matrix(4)
+        fp = fingerprint_matrix(m)
+        cache.put(fp, self._plan(m))
+        cache.get(fp)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats().hits == 1
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
+
+
+class TestServer:
+    def test_repeated_submit_skips_planning(self):
+        planned = []
+
+        def counting_planner(matrix):
+            planned.append(matrix)
+            return heuristic_planner(matrix)
+
+        server = SpMVServer(planner=counting_planner)
+        m = _matrix(0)
+        rng = np.random.default_rng(1)
+        results = [
+            server.submit(m, rng.standard_normal(m.ncols)) for _ in range(5)
+        ]
+        assert len(planned) == 1  # planner consulted exactly once
+        assert [r.cache_hit for r in results] == [False] + [True] * 4
+        stats = server.stats()
+        assert stats.cache.misses == 1 and stats.cache.hits == 4
+        assert results[1].plan is results[0].plan
+
+    def test_revalued_matrix_hits_same_plan(self):
+        server = SpMVServer()
+        m = _matrix(1)
+        x = np.random.default_rng(2).standard_normal(m.ncols)
+        first = server.submit(m, x)
+        second = server.submit(_revalued(m), x)
+        assert second.cache_hit and second.plan is first.plan
+
+    def test_submit_batch_equals_k_submits(self):
+        server = SpMVServer()
+        m = gen.power_law_graph(800, seed=3)
+        X = np.random.default_rng(4).standard_normal((m.ncols, 8))
+        batch = server.submit_batch(m, X)
+        for j in range(8):
+            single = server.submit(m, X[:, j])
+            np.testing.assert_array_equal(batch.y[:, j], single.y)
+
+    def test_batch_issues_one_dispatch_sequence(self):
+        server = SpMVServer()
+        m = _matrix(5)
+        X = np.random.default_rng(6).standard_normal((m.ncols, 8))
+        before = server.stats().dispatch_sequences
+        res = server.submit_batch(m, X)
+        stats = server.stats()
+        assert stats.dispatch_sequences == before + 1
+        assert res.n_dispatches == res.plan.n_launches
+        assert stats.kernel_launches == res.plan.n_launches
+        assert stats.rhs_served == 8 and stats.batch_requests == 1
+
+    def test_batch_cheaper_than_k_singles(self):
+        # The amortisation claim: one 8-wide sequence is accounted less
+        # simulated time than eight single dispatch sequences.
+        server = SpMVServer()
+        m = gen.power_law_graph(2_000, seed=7)
+        X = np.random.default_rng(8).standard_normal((m.ncols, 8))
+        batch = server.submit_batch(m, X)
+        single = server.submit(m, X[:, 0])
+        assert batch.seconds < 8 * single.seconds
+
+    def test_eviction_respects_capacity_end_to_end(self):
+        server = SpMVServer(cache_capacity=2)
+        mats = [_matrix(seed, nrows=60, ncols=60) for seed in range(4)]
+        for m in mats:
+            server.submit(m, np.ones(m.ncols))
+        stats = server.stats()
+        assert stats.cache.size == 2
+        assert stats.cache.evictions == 2
+
+    def test_invalidate_forces_replan(self):
+        server = SpMVServer()
+        m = _matrix(9)
+        x = np.ones(m.ncols)
+        server.submit(m, x)
+        assert server.invalidate(m) is True
+        res = server.submit(m, x)
+        assert res.cache_hit is False
+
+    def test_max_rhs_chunking_matches_unchunked(self):
+        m = _matrix(10)
+        X = np.random.default_rng(11).standard_normal((m.ncols, 7))
+        plan = heuristic_planner(m)
+        dev = SimulatedDevice()
+        whole = run_plan_spmm(dev, m, X, plan)
+        chunked = run_plan_spmm(dev, m, X, plan, max_rhs=3)
+        np.testing.assert_array_equal(whole.U, chunked.U)
+        assert isinstance(chunked, SpMMResult) and chunked.n_rhs == 7
+
+    def test_run_plan_spmv_matches_reference(self):
+        m = _matrix(12)
+        x = np.random.default_rng(13).standard_normal(m.ncols)
+        plan = heuristic_planner(m)
+        res = run_plan_spmv(SimulatedDevice(), m, x, plan)
+        np.testing.assert_allclose(res.u, m @ x, atol=1e-9)
+
+    def test_batch_rejects_bad_shape(self):
+        server = SpMVServer()
+        m = _matrix(14)
+        with pytest.raises(ShapeError):
+            server.submit_batch(m, np.ones((m.ncols + 1, 4)))
+
+    def test_heuristic_planner_handles_empty_matrix(self):
+        m = CSRMatrix.empty((5, 5))
+        plan = heuristic_planner(m)
+        assert isinstance(plan, ExecutionPlan)
+        server = SpMVServer()
+        res = server.submit(m, np.ones(5))
+        np.testing.assert_array_equal(res.y, np.zeros(5))
+
+    def test_stage_seconds_accumulate(self):
+        server = SpMVServer()
+        m = _matrix(15)
+        server.submit(m, np.ones(m.ncols))
+        stats = server.stats()
+        assert set(stats.stage_seconds) == {"fingerprint", "plan", "execute"}
+        assert all(v >= 0.0 for v in stats.stage_seconds.values())
+        assert "hit rate" in stats.describe()
+
+
+class TestColumnBlocks:
+    def test_covers_range(self):
+        blocks = list(iter_column_blocks(10, 4))
+        assert blocks == [(0, 4), (4, 8), (8, 10)]
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            list(iter_column_blocks(10, 0))
