@@ -51,7 +51,7 @@ def main() -> None:
     v = np.random.default_rng(7).standard_normal(matrix.ncols)
     result = tuner.run(matrix, v, plan=plan)
     assert np.allclose(result.u, matrix @ v, atol=1e-8), "wrong result!"
-    print(f"\nresult verified against the reference SpMV")
+    print("\nresult verified against the reference SpMV")
     print(f"simulated time (kernel-auto) : {result.seconds * 1e3:8.3f} ms")
 
     for kernel_name in ("serial", "vector"):

@@ -131,7 +131,6 @@ class MergeSpMV:
         total_items = matrix.nrows + matrix.nnz
         # Perfect balance: every lane processes items_per_chunk items.
         per_item_instr = 5.0
-        waves = -(-n_chunks // spec.wavefront_size) * self.items_per_chunk
         # One wavefront processes 64 chunks "in parallel"; its length is
         # the (identical) chunk size -- the whole point of merge-path.
         compute = total_items * per_item_instr / spec.wavefront_size

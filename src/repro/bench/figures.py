@@ -21,19 +21,16 @@ ABL-FEAT  basic vs extended features / tree vs boosted ablation
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.baselines.csr_adaptive import CSRAdaptiveSpMV
-from repro.baselines.merge_spmv import MergeSpMV
 from repro.baselines.single_kernel import SingleKernelSpMV
 from repro.bench.harness import BenchContext, representative_suite
-from repro.binning.coarse import CoarseBinning, DEFAULT_GRANULARITIES
-from repro.core.framework import AutoTuner
+from repro.binning.coarse import CoarseBinning
 from repro.core.training import build_datasets
-from repro.core.tuning_space import TuningSpace
 from repro.device.memory import effective_gather_locality
 from repro.features.extract import FEATURE_NAMES, extract_features
 from repro.formats.csr import CSRMatrix

@@ -22,6 +22,7 @@ from repro.device.executor import SimulatedDevice
 from repro.formats.csr import CSRMatrix
 from repro.matrices.collection import generate_collection
 from repro.matrices.representative import REPRESENTATIVE_NAMES, representative_matrix
+from repro.observe.spans import span
 
 __all__ = ["BenchContext", "bench_context", "representative_suite", "bench_scale"]
 
@@ -64,13 +65,16 @@ def bench_context(
     if key in _CONTEXT_CACHE:
         return _CONTEXT_CACHE[key]
     device = SimulatedDevice()
-    corpus = generate_collection(n, seed=seed)
+    with span("bench.corpus"):
+        corpus = generate_collection(n, seed=seed)
     tuner = AutoTuner(device=device, seed=seed)
-    tuner.fit(corpus)
+    with span("bench.train.extended"):
+        tuner.fit(corpus)
     paper_tuner = AutoTuner(
         device=device, space=TuningSpace(include_single_bin=False), seed=seed
     )
-    paper_tuner.fit(corpus)
+    with span("bench.train.paper"):
+        paper_tuner.fit(corpus)
     ctx = BenchContext(
         device=device,
         tuner=tuner,

@@ -17,12 +17,17 @@ from repro.binning.base import BinningResult, BinningScheme, binning_pass_second
 from repro.device.spec import DeviceSpec
 from repro.errors import BinningError
 from repro.formats.csr import CSRMatrix
+from repro.observe.registry import get_registry
 
 __all__ = ["CoarseBinning", "DEFAULT_GRANULARITIES", "MAX_BINS"]
 
 #: The paper's candidate granularities: "U is preset to be 10, 20, 50,
-#: 100, ..., 10^6" (§III-B).
-DEFAULT_GRANULARITIES = (10, 20, 50, 100, 1000, 10_000, 100_000, 1_000_000)
+#: 100, 200, 500, ..., 10^6" (§III-B; the 1-2-5 series up to 10^3, then
+#: decades).  200 and 500 were missing from early versions of this
+#: tuple, silently narrowing the stage-1 tuning space.
+DEFAULT_GRANULARITIES = (
+    10, 20, 50, 100, 200, 500, 1000, 10_000, 100_000, 1_000_000
+)
 
 #: "there are up to 100 bins" (§III-B).
 MAX_BINS = 100
@@ -52,7 +57,23 @@ class CoarseBinning(BinningScheme):
     def bin_ids(self, matrix: CSRMatrix) -> np.ndarray:
         """Step 2: bin index of each virtual row (overflow -> last bin)."""
         wl = self.virtual_workloads(matrix)
-        return np.minimum(wl // self.u, self.max_bins - 1)
+        raw = wl // self.u
+        n_overflow = int(np.count_nonzero(raw >= self.max_bins))
+        if n_overflow:
+            registry = get_registry()
+            registry.counter(
+                "binning_overflow_virtual_rows_total",
+                {"scheme": self.name},
+                help_text="Virtual rows clamped into the overflow "
+                          "(last) coarse bin.",
+            ).inc(n_overflow)
+            registry.emit(
+                "overflow_bin_hit",
+                scheme=self.name,
+                n_virtual_rows=n_overflow,
+                max_workload=int(wl.max()),
+            )
+        return np.minimum(raw, self.max_bins - 1)
 
     def bin_rows(self, matrix: CSRMatrix) -> BinningResult:
         m, u = matrix.nrows, self.u

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five commands cover the deployment workflow:
+Six commands cover the deployment workflow:
 
 - ``train``  -- offline-train a tuner on a synthetic corpus (or point it
   at a directory of Matrix Market files) and save it to JSON;
@@ -11,7 +11,12 @@ Five commands cover the deployment workflow:
   baselines;
 - ``serve-demo`` -- drive an :class:`~repro.serve.SpMVServer` with
   repeated single and batched traffic and print the serving stats
-  (plan-cache hit rate, per-stage seconds, launches amortised);
+  (plan-cache hit rate, per-stage seconds, launches amortised); pass
+  ``--metrics`` to also dump the metrics registry;
+- ``metrics`` -- run the same demo traffic against a fresh metrics
+  registry and emit the Prometheus-text and JSON snapshots (cache
+  hits/misses, per-stage latency histograms, per-kernel dispatch
+  counters, structured events);
 - ``info``   -- show the simulated device and the kernel pool.
 
 Examples
@@ -21,7 +26,8 @@ Examples
     python -m repro train --matrices 150 --out tuner.json
     python -m repro plan --model tuner.json --matrix road_network:50000
     python -m repro run  --model tuner.json --matrix my_matrix.mtx
-    python -m repro serve-demo --requests 32 --batch 8
+    python -m repro serve-demo --requests 32 --batch 8 --metrics
+    python -m repro metrics --format prometheus
     python -m repro info
 """
 
@@ -44,6 +50,13 @@ from repro.formats.matrixmarket import read_matrix_market
 from repro.kernels.registry import DEFAULT_KERNEL_NAMES
 from repro.matrices import generators as gen
 from repro.matrices.collection import generate_collection
+from repro.observe import (
+    MetricsRegistry,
+    RecordingSink,
+    set_registry,
+    to_json,
+    to_prometheus_text,
+)
 from repro.serve import SpMVServer
 
 __all__ = ["main", "build_parser", "load_matrix"]
@@ -152,17 +165,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
-def _cmd_serve_demo(args: argparse.Namespace) -> int:
-    """Simulate repeated + batched traffic against one server instance."""
+def _drive_demo_traffic(server: SpMVServer, args: argparse.Namespace) -> bool:
+    """Run the demo workload against ``server``; True when all verified."""
     rng = np.random.default_rng(args.seed)
-    if args.model:
-        tuner = AutoTuner.load(args.model)
-        server = SpMVServer(tuner, cache_capacity=args.cache_capacity)
-        print(f"serving with tuner {args.model}")
-    else:
-        server = SpMVServer(cache_capacity=args.cache_capacity)
-        print("serving with the heuristic planner (no --model given)")
-
     families = sorted(_CLI_FAMILIES)
     matrices = [
         _CLI_FAMILIES[families[i % len(families)]](args.size, args.seed + i)
@@ -171,7 +176,6 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
     print(f"workload: {args.matrices} distinct matrices of ~{args.size} rows, "
           f"{args.requests} single + {args.batches} batched (k={args.batch}) "
           f"requests\n")
-
     ok = True
     for i in range(args.requests):
         m = matrices[i % len(matrices)]
@@ -183,8 +187,68 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
         X = rng.standard_normal((m.ncols, args.batch))
         res = server.submit_batch(m, X)
         ok &= bool(np.allclose(res.y, m @ X, atol=1e-8))
+    return ok
 
+
+def _build_demo_server(args: argparse.Namespace) -> SpMVServer:
+    if args.model:
+        tuner = AutoTuner.load(args.model)
+        server = SpMVServer(tuner, cache_capacity=args.cache_capacity)
+        print(f"serving with tuner {args.model}")
+    else:
+        server = SpMVServer(cache_capacity=args.cache_capacity)
+        print("serving with the heuristic planner (no --model given)")
+    return server
+
+
+def _cmd_serve_demo(args: argparse.Namespace) -> int:
+    """Simulate repeated + batched traffic against one server instance."""
+    registry = previous = None
+    if getattr(args, "metrics", False):
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
+    try:
+        server = _build_demo_server(args)
+        ok = _drive_demo_traffic(server, args)
+    finally:
+        if registry is not None:
+            set_registry(previous)
     print(server.stats().describe())
+    if registry is not None:
+        print("\n--- metrics (prometheus) ---")
+        print(to_prometheus_text(registry), end="")
+    print(f"\nall results verified: {'OK' if ok else 'MISMATCH'}")
+    return 0 if ok else 1
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Demo run under a fresh registry; dump Prometheus + JSON snapshots.
+
+    The registry is installed as the process-global default *before* the
+    server/device are built (they bind it at construction), and a
+    recording sink captures structured events (cache evictions,
+    overflow-bin hits, planner fallbacks).
+    """
+    registry = MetricsRegistry()
+    sink = RecordingSink()
+    registry.add_event_sink(sink)
+    previous = set_registry(registry)
+    try:
+        server = _build_demo_server(args)
+        ok = _drive_demo_traffic(server, args)
+    finally:
+        set_registry(previous)
+    print(server.stats().describe())
+    if args.format in ("prometheus", "both"):
+        print("\n--- metrics (prometheus) ---")
+        print(to_prometheus_text(registry), end="")
+    if args.format in ("json", "both"):
+        print("\n--- metrics (json) ---")
+        print(to_json(registry, indent=2))
+    if sink.events:
+        print(f"\n--- events ({len(sink.events)}) ---")
+        for event in sink.events:
+            print(f"  {event}")
     print(f"\nall results verified: {'OK' if ok else 'MISMATCH'}")
     return 0 if ok else 1
 
@@ -261,7 +325,35 @@ def build_parser() -> argparse.ArgumentParser:
                          help="right-hand sides per batched submission")
     p_serve.add_argument("--cache-capacity", type=int, default=32)
     p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--metrics", action="store_true",
+                         help="also dump the metrics registry "
+                              "(Prometheus text) after the run")
     p_serve.set_defaults(func=_cmd_serve_demo)
+
+    p_metrics = sub.add_parser(
+        "metrics",
+        help="demo run under a fresh registry; dump metric snapshots",
+    )
+    p_metrics.add_argument("--model", default=None,
+                           help="trained tuner JSON (heuristic planner if "
+                                "omitted)")
+    p_metrics.add_argument("--matrices", type=int, default=4,
+                           help="distinct sparsity patterns in the workload")
+    p_metrics.add_argument("--size", type=int, default=2000,
+                           help="rows per synthetic matrix")
+    p_metrics.add_argument("--requests", type=int, default=16,
+                           help="single-RHS submissions")
+    p_metrics.add_argument("--batches", type=int, default=2,
+                           help="batched submissions")
+    p_metrics.add_argument("--batch", type=int, default=8,
+                           help="right-hand sides per batched submission")
+    p_metrics.add_argument("--cache-capacity", type=int, default=32)
+    p_metrics.add_argument("--seed", type=int, default=0)
+    p_metrics.add_argument("--format",
+                           choices=("prometheus", "json", "both"),
+                           default="both",
+                           help="which snapshot(s) to print (default both)")
+    p_metrics.set_defaults(func=_cmd_metrics)
 
     p_info = sub.add_parser("info", help="device + kernel pool summary")
     p_info.set_defaults(func=_cmd_info)

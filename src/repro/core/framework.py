@@ -17,7 +17,7 @@ This is the paper's Figure 3 put together:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Union
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -41,6 +41,7 @@ from repro.ml.dataset import Dataset, train_test_split
 from repro.ml.metrics import error_rate
 from repro.ml.rules import RuleSet
 from repro.ml.tree import DecisionTreeClassifier
+from repro.observe.spans import span
 
 __all__ = ["AutoTuner", "TrainingReport"]
 
@@ -114,13 +115,15 @@ class AutoTuner:
 
     def fit(self, corpus: Sequence[MatrixLike]) -> TrainingReport:
         """Measure the corpus, train both stages, return the report."""
-        stage1, stage2 = build_datasets(
-            corpus,
-            self.device,
-            self.space,
-            extended_features=self.extended_features,
-        )
-        return self.fit_datasets(stage1, stage2)
+        with span("tuner.fit"):
+            with span("tuner.measure"):
+                stage1, stage2 = build_datasets(
+                    corpus,
+                    self.device,
+                    self.space,
+                    extended_features=self.extended_features,
+                )
+            return self.fit_datasets(stage1, stage2)
 
     def fit_datasets(self, stage1: Dataset, stage2: Dataset) -> TrainingReport:
         """Train from pre-built datasets (lets callers reuse measurements)."""
@@ -130,22 +133,25 @@ class AutoTuner:
         s2_train, s2_test = train_test_split(
             stage2, test_fraction=self.test_fraction, seed=self.seed
         )
-        self.stage1_model = self._make_model().fit(s1_train)
-        self.stage2_model = self._make_model().fit(s2_train)
+        with span("tuner.train.stage1"):
+            self.stage1_model = self._make_model().fit(s1_train)
+        with span("tuner.train.stage2"):
+            self.stage2_model = self._make_model().fit(s2_train)
         # C5.0-style rulesets for inspection (always from single trees;
         # boosted committees don't reduce to one ruleset).
-        rule_tree_1 = (
-            self.stage1_model
-            if isinstance(self.stage1_model, DecisionTreeClassifier)
-            else DecisionTreeClassifier().fit(s1_train)
-        )
-        rule_tree_2 = (
-            self.stage2_model
-            if isinstance(self.stage2_model, DecisionTreeClassifier)
-            else DecisionTreeClassifier().fit(s2_train)
-        )
-        self.stage1_rules = RuleSet.from_tree(rule_tree_1, s1_train)
-        self.stage2_rules = RuleSet.from_tree(rule_tree_2, s2_train)
+        with span("tuner.rules"):
+            rule_tree_1 = (
+                self.stage1_model
+                if isinstance(self.stage1_model, DecisionTreeClassifier)
+                else DecisionTreeClassifier().fit(s1_train)
+            )
+            rule_tree_2 = (
+                self.stage2_model
+                if isinstance(self.stage2_model, DecisionTreeClassifier)
+                else DecisionTreeClassifier().fit(s2_train)
+            )
+            self.stage1_rules = RuleSet.from_tree(rule_tree_1, s1_train)
+            self.stage2_rules = RuleSet.from_tree(rule_tree_2, s2_train)
         self.report = TrainingReport(
             n_matrices=stage1.n_samples,
             n_stage1_samples=stage1.n_samples,
@@ -174,6 +180,10 @@ class AutoTuner:
     def plan(self, matrix: CSRMatrix) -> ExecutionPlan:
         """Predict the parallelisation strategy for a new matrix."""
         self._check_fitted()
+        with span("tuner.plan"):
+            return self._plan_unspanned(matrix)
+
+    def _plan_unspanned(self, matrix: CSRMatrix) -> ExecutionPlan:
         vec = self._features(matrix)
         scheme_index = int(self.stage1_model.predict(vec[None, :])[0])
         scheme = self.space.schemes()[scheme_index]

@@ -19,8 +19,8 @@ This module implements that idea on top of an execution plan:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -30,7 +30,6 @@ from repro.device.memory import CSR_ELEMENT_BYTES, VALUE_BYTES, \
     effective_gather_locality
 from repro.errors import DeviceError
 from repro.formats.csr import CSRMatrix
-from repro.kernels.base import Kernel
 from repro.kernels.registry import get_kernel
 from repro.utils.primitives import segmented_sum
 

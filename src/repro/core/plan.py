@@ -8,9 +8,7 @@ SpMV step consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
-
-import numpy as np
+from typing import Dict, List, Optional
 
 from repro.binning.base import BinningResult, BinningScheme
 from repro.device.executor import Dispatch

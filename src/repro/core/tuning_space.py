@@ -9,7 +9,7 @@ automating it to future work.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.binning.base import BinningScheme

@@ -19,12 +19,14 @@ from __future__ import annotations
 
 import enum
 from concurrent.futures import ThreadPoolExecutor
-from typing import Optional
+from time import perf_counter
+from typing import Callable, Optional
 
 import numpy as np
 
 from repro.errors import DeviceError, ShapeError
 from repro.formats.csr import CSRMatrix
+from repro.observe.registry import MetricsRegistry, get_registry
 from repro.utils.primitives import segmented_sum
 
 __all__ = ["PartitionStrategy", "CPUExecutor", "row_partition"]
@@ -60,14 +62,40 @@ def row_partition(
 
 
 class CPUExecutor:
-    """Thread-pool CSR SpMV on the host CPU."""
+    """Thread-pool CSR SpMV on the host CPU.
 
-    def __init__(self, n_threads: int = 4):
+    Per-chunk wall times land in the registry histogram
+    ``cpu_chunk_seconds{op="spmv"|"spmm"}`` -- the measured analogue of
+    the simulated device's per-dispatch accounting, and the data that
+    shows whether the partition strategy actually balanced the load.
+    """
+
+    def __init__(
+        self,
+        n_threads: int = 4,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+    ):
         if n_threads <= 0:
             raise ValueError(f"n_threads must be > 0, got {n_threads}")
         self.n_threads = int(n_threads)
         self._pool: Optional[ThreadPoolExecutor] = None
         self._closed = False
+        self.registry = get_registry() if registry is None else registry
+        self._m_chunk = {
+            op: self.registry.histogram(
+                "cpu_chunk_seconds", {"op": op},
+                help_text="Wall seconds per row chunk on the CPU "
+                          "thread pool.",
+            )
+            for op in ("spmv", "spmm")
+        }
+
+    def _timed_chunk(self, fn: Callable[..., None], op: str, *args) -> None:
+        """Run one chunk in a worker thread and record its wall time."""
+        t0 = perf_counter()
+        fn(*args)
+        self._m_chunk[op].observe(perf_counter() - t0)
 
     # -- lifecycle -------------------------------------------------------
     def __enter__(self) -> "CPUExecutor":
@@ -146,8 +174,8 @@ class CPUExecutor:
         bounds = row_partition(matrix, n_chunks, strategy)
         pool = self._ensure_pool()
         futures = [
-            pool.submit(self._chunk_spmv, matrix, v, int(bounds[i]),
-                        int(bounds[i + 1]), out)
+            pool.submit(self._timed_chunk, self._chunk_spmv, "spmv",
+                        matrix, v, int(bounds[i]), int(bounds[i + 1]), out)
             for i in range(n_chunks)
         ]
         for f in futures:
@@ -203,8 +231,9 @@ class CPUExecutor:
         bounds = row_partition(matrix, n_chunks, strategy)
         pool = self._ensure_pool()
         futures = [
-            pool.submit(self._chunk_spmm, matrix, dense, int(bounds[i]),
-                        int(bounds[i + 1]), out)
+            pool.submit(self._timed_chunk, self._chunk_spmm, "spmm",
+                        matrix, dense, int(bounds[i]), int(bounds[i + 1]),
+                        out)
             for i in range(n_chunks)
         ]
         for f in futures:

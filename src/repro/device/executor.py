@@ -9,7 +9,7 @@ time with each kernel's ``cost`` plus the per-launch overhead.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -20,6 +20,7 @@ from repro.device.spec import DeviceSpec
 from repro.errors import DeviceError, ShapeError
 from repro.formats.csr import CSRMatrix
 from repro.kernels.base import Kernel, row_products_batch
+from repro.observe.registry import MetricsRegistry, get_registry
 from repro.utils.primitives import segmented_sum_2d
 
 __all__ = ["SimulatedDevice", "SpMVResult", "SpMMResult", "Dispatch"]
@@ -59,12 +60,17 @@ class SpMMResult:
     dispatch_seconds: Tuple[float, ...]
     #: Seconds spent in fixed kernel-launch overhead.
     launch_seconds: float
-    #: Number of right-hand sides served by the single dispatch sequence.
+    #: Number of right-hand sides served.
     n_rhs: int
+    #: Dispatch sequences that produced this result: 1 for a direct
+    #: ``run_spmm`` call, the number of column blocks when a ``max_rhs``
+    #: cap made :func:`~repro.serve.batch.run_plan_spmm` split the block
+    #: (each pass re-pays the plan's kernel launches).
+    n_passes: int = 1
 
     @property
     def n_dispatches(self) -> int:
-        """Number of kernel launches the plan needed (independent of k)."""
+        """Total kernel launches across all passes (independent of k)."""
         return len(self.dispatch_seconds)
 
 
@@ -94,10 +100,45 @@ def _scale_stats_for_rhs(stats: DispatchStats, n_rhs: int) -> DispatchStats:
 
 
 class SimulatedDevice:
-    """Executes kernel dispatch sequences on the analytical device model."""
+    """Executes kernel dispatch sequences on the analytical device model.
 
-    def __init__(self, spec: Optional[DeviceSpec] = None):
+    Parameters
+    ----------
+    spec:
+        Device constants; defaults to the paper's Kaveri APU.
+    registry:
+        Metrics registry receiving per-kernel dispatch counters
+        (``device_dispatches_total{kernel=...}``), per-kernel simulated
+        dispatch-time histograms and the accumulated launch-overhead
+        counter.  Defaults to the process-global registry.
+    """
+
+    def __init__(
+        self,
+        spec: Optional[DeviceSpec] = None,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+    ):
         self.spec = spec if spec is not None else DeviceSpec.kaveri_apu()
+        self.registry = get_registry() if registry is None else registry
+        self._m_launch_seconds = self.registry.counter(
+            "device_kernel_launch_seconds_total",
+            help_text="Simulated seconds of fixed kernel-launch overhead.",
+        )
+
+    def _record_dispatch(self, kernel: Kernel, seconds: float,
+                         op: str) -> None:
+        """Feed one kernel launch into the registry."""
+        labels = {"kernel": kernel.name, "op": op}
+        self.registry.counter(
+            "device_dispatches_total", labels,
+            help_text="Kernel launches per kernel and operation.",
+        ).inc()
+        self.registry.histogram(
+            "device_dispatch_seconds", labels,
+            help_text="Simulated seconds per kernel launch "
+                      "(excluding fixed launch overhead).",
+        ).observe(seconds)
 
     # ------------------------------------------------------------------
     def time_dispatch(
@@ -180,13 +221,14 @@ class SimulatedDevice:
             if len(rows) == 0:
                 continue
             u[rows] = kernel.compute(matrix, v, rows)
-            times.append(
-                self.time_dispatch(
-                    kernel, lengths[rows], g, include_launch=False
-                )
+            t = self.time_dispatch(
+                kernel, lengths[rows], g, include_launch=False
             )
+            times.append(t)
+            self._record_dispatch(kernel, t, op="spmv")
             launches += 1
         launch_s = launches * self.spec.seconds(self.spec.kernel_launch_cycles)
+        self._m_launch_seconds.inc(launch_s)
         total = float(sum(times) + launch_s + extra_seconds)
         return SpMVResult(
             u=u,
@@ -257,13 +299,14 @@ class SimulatedDevice:
                 continue
             products, offsets = row_products_batch(matrix, dense, rows)
             U[rows] = segmented_sum_2d(products, offsets)
-            times.append(
-                self.time_dispatch(
-                    kernel, lengths[rows], g, include_launch=False, n_rhs=k
-                )
+            t = self.time_dispatch(
+                kernel, lengths[rows], g, include_launch=False, n_rhs=k
             )
+            times.append(t)
+            self._record_dispatch(kernel, t, op="spmm")
             launches += 1
         launch_s = launches * self.spec.seconds(self.spec.kernel_launch_cycles)
+        self._m_launch_seconds.inc(launch_s)
         total = float(sum(times) + launch_s + extra_seconds)
         return SpMMResult(
             U=U,

@@ -14,8 +14,8 @@ so that corrupt structures fail fast rather than deep inside a kernel.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 import numpy as np
 
@@ -341,7 +341,6 @@ class CSRMatrix:
         starts = self.rowptr[row_indices]
         # Gather: build a flat source index per destination element.
         if nnz:
-            dst_row = np.repeat(np.arange(len(row_indices)), lengths)
             within = np.arange(nnz) - np.repeat(new_rowptr[:-1], lengths)
             src = np.repeat(starts, lengths) + within
             colidx[:] = self.colidx[src]

@@ -9,7 +9,7 @@ if-then statements over named attributes like ``Avg_NNZ``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Tuple
 
 import numpy as np
 

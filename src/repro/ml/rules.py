@@ -17,8 +17,8 @@ converts a fitted :class:`~repro.ml.tree.DecisionTreeClassifier` into a
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
 
 import numpy as np
 

@@ -11,9 +11,7 @@ compatibility.
 
 from __future__ import annotations
 
-import json
-from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict
 
 import numpy as np
 

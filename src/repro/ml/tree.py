@@ -21,7 +21,7 @@ class-weight matrix evaluates *every* threshold of a feature at once).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 import numpy as np

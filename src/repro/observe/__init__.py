@@ -1,0 +1,51 @@
+"""Observability layer: metrics, tracing spans, exporters, events.
+
+This package is an **extension** over the paper (the reproduction's own
+timing model lives in :mod:`repro.device`); it measures the *system
+serving* the reproduction -- cache behaviour, stage latencies,
+per-kernel dispatch counts -- so performance work is driven by data, in
+the same spirit as the paper's measurement-driven tuning:
+
+- :mod:`repro.observe.registry` -- counters / gauges / bucketed
+  histograms behind a thread-safe :class:`MetricsRegistry`, plus the
+  process-global default registry and the no-op :data:`NULL_REGISTRY`;
+- :mod:`repro.observe.spans` -- ``with span("serve.plan"):`` nesting
+  wall-clock tracing feeding ``span_seconds`` histograms;
+- :mod:`repro.observe.export` -- Prometheus text format and JSON
+  snapshot rendering;
+- :mod:`repro.observe.events` -- structured event objects and the
+  recording sink (cache evictions, overflow-bin hits, planner
+  fallbacks).
+"""
+
+from repro.observe.events import Event, RecordingSink
+from repro.observe.export import to_json, to_prometheus_text
+from repro.observe.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from repro.observe.spans import Span, current_span, span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_LATENCY_BUCKETS",
+    "get_registry",
+    "set_registry",
+    "Span",
+    "span",
+    "current_span",
+    "Event",
+    "RecordingSink",
+    "to_prometheus_text",
+    "to_json",
+]

@@ -1,0 +1,45 @@
+"""Structured events: the one-off happenings metrics can't carry.
+
+Counters answer "how many"; events answer "what exactly happened" --
+which fingerprint got evicted, which matrix overflowed the last coarse
+bin, when the server fell back to the heuristic planner.  An event is a
+name plus a flat field dict; sinks registered on a
+:class:`~repro.observe.registry.MetricsRegistry` receive every emission
+synchronously (logging, test capture, or forwarding to a real pipeline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+__all__ = ["Event", "RecordingSink"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured happening: a name plus arbitrary flat fields."""
+
+    name: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        kv = " ".join(f"{k}={v}" for k, v in sorted(self.fields.items()))
+        return f"{self.name} {kv}".strip()
+
+
+class RecordingSink:
+    """Event sink that keeps everything it sees (tests and the CLI)."""
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+
+    def __call__(self, event: Event) -> None:
+        self.events.append(event)
+
+    def named(self, name: str) -> List[Event]:
+        """All recorded events with this name, in emission order."""
+        return [e for e in self.events if e.name == name]
+
+    def clear(self) -> None:
+        self.events.clear()

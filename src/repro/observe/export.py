@@ -1,0 +1,85 @@
+"""Exporters: Prometheus text format and JSON snapshots.
+
+Both exporters read a registry snapshot; neither holds locks across the
+whole export (each instrument is read atomically, the export is a
+point-in-time-ish view, which is what scrape-based systems expect).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import List, Optional, Tuple
+
+from repro.observe.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+
+__all__ = ["to_prometheus_text", "to_json"]
+
+
+def _fmt(value: float) -> str:
+    """Prometheus-friendly number rendering: ints stay integral."""
+    v = float(value)
+    if math.isinf(v):
+        return "+Inf" if v > 0 else "-Inf"
+    if v.is_integer():
+        return str(int(v))
+    return repr(v)
+
+
+def _labels_text(labels: Tuple[Tuple[str, str], ...],
+                 extra: Optional[Tuple[Tuple[str, str], ...]] = None) -> str:
+    pairs = list(labels) + list(extra or ())
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def to_prometheus_text(registry: Optional[MetricsRegistry] = None) -> str:
+    """Render every instrument in the Prometheus text exposition format.
+
+    Families (one ``# HELP`` / ``# TYPE`` header per metric name) come
+    out name-sorted, label sets within a family label-sorted, so the
+    output is deterministic for golden-file tests.
+    """
+    reg = get_registry() if registry is None else registry
+    lines: List[str] = []
+    last_name = None
+    for kind, name, inst in reg.collect():
+        if name != last_name:
+            help_text = reg.help_for(name)
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+            last_name = name
+        if isinstance(inst, Histogram):
+            for le, cum in inst.cumulative_counts():
+                label_txt = _labels_text(inst.labels, (("le", _fmt(le)),))
+                lines.append(f"{name}_bucket{label_txt} {cum}")
+            base = _labels_text(inst.labels)
+            lines.append(f"{name}_sum{base} {_fmt(inst.sum)}")
+            lines.append(f"{name}_count{base} {inst.count}")
+        elif isinstance(inst, (Counter, Gauge)):
+            lines.append(
+                f"{name}{_labels_text(inst.labels)} {_fmt(inst.value)}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_json(
+    registry: Optional[MetricsRegistry] = None, *, indent: Optional[int] = None
+) -> str:
+    """JSON rendering of :meth:`MetricsRegistry.snapshot` (``+Inf``-safe)."""
+    reg = get_registry() if registry is None else registry
+    snap = reg.snapshot()
+    for hist in snap["histograms"]:
+        for bucket in hist["buckets"]:
+            if math.isinf(bucket["le"]):
+                bucket["le"] = "+Inf"
+    return json.dumps(snap, indent=indent, sort_keys=True)

@@ -1,0 +1,416 @@
+"""Dependency-free metrics registry: counters, gauges, histograms.
+
+The serving layer (and every future perf PR) needs one shared place to
+account what the system *did* -- cache hits, per-stage latencies,
+per-kernel dispatch counts -- without dragging in a metrics client
+library this environment does not have.  This module is that substrate:
+
+- three instrument kinds (:class:`Counter`, :class:`Gauge`,
+  :class:`Histogram`) with Prometheus-compatible semantics, each safe
+  to update from multiple threads;
+- a :class:`MetricsRegistry` that hands out instruments keyed by
+  ``(name, labels)`` and snapshots them for the exporters in
+  :mod:`repro.observe.export`;
+- a pluggable event-sink hook for structured one-off events (cache
+  eviction, overflow-bin hit, planner fallback) -- see
+  :mod:`repro.observe.events`;
+- a :data:`NULL_REGISTRY` whose instruments are shared no-ops, so
+  instrumented hot paths cost near-zero when observability is off.
+
+A process-global default registry (:func:`get_registry` /
+:func:`set_registry`) lets independently-constructed components (server,
+device, tuner) feed one export without threading a registry handle
+through every call site.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
+
+from repro.observe.events import Event
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_LATENCY_BUCKETS",
+    "get_registry",
+    "set_registry",
+]
+
+#: Canonical label form: sorted ``(key, value)`` pairs (hashable).
+LabelSet = Tuple[Tuple[str, str], ...]
+
+#: Default histogram boundaries for latencies in seconds: microseconds
+#: through tens of seconds, one bucket per decade plus a 2/5 split in
+#: the millisecond range where SpMV dispatch times actually land.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 2e-4, 5e-4, 1e-3, 2e-3, 5e-3,
+    1e-2, 5e-2, 1e-1, 1.0, 10.0,
+)
+
+
+def _labelset(labels: Optional[Mapping[str, str]]) -> LabelSet:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count (requests, hits, launches).
+
+    Instruments are usable standalone (``Counter("hits")``) or attached
+    to a registry via :meth:`MetricsRegistry.counter`; either way every
+    update takes the instrument's own lock, so concurrent increments
+    never lose counts.
+    """
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: Optional[Mapping[str, str]] = None):
+        self.name = name
+        self.labels = _labelset(labels)
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the count."""
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Counter({self.name!r}, value={self._value})"
+
+
+class Gauge:
+    """A value that can go up and down (cache size, queue depth)."""
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: Optional[Mapping[str, str]] = None):
+        self.name = name
+        self.labels = _labelset(labels)
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Gauge({self.name!r}, value={self._value})"
+
+
+class Histogram:
+    """Bucketed distribution (latencies), Prometheus-style.
+
+    ``buckets`` are the inclusive upper bounds of each bucket (the
+    ``le`` labels); an implicit ``+Inf`` bucket catches everything
+    above the last bound.  Per-bucket counts are stored raw;
+    :meth:`cumulative_counts` produces the cumulative form exporters
+    need.
+    """
+
+    __slots__ = ("name", "labels", "buckets", "_counts", "_sum", "_count",
+                 "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, str]] = None,
+        *,
+        buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
+    ):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(
+                f"bucket bounds must be strictly increasing, got {bounds}"
+            )
+        self.name = name
+        self.labels = _labelset(labels)
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # +1: the +Inf bucket
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        i = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[i] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        """Total observations."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values."""
+        return self._sum
+
+    def bucket_counts(self) -> List[int]:
+        """Raw per-bucket counts (last entry is the ``+Inf`` bucket)."""
+        with self._lock:
+            return list(self._counts)
+
+    def cumulative_counts(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ``+Inf`` last."""
+        out: List[Tuple[float, int]] = []
+        total = 0
+        counts = self.bucket_counts()
+        for bound, c in zip(self.buckets, counts):
+            total += c
+            out.append((bound, total))
+        out.append((float("inf"), total + counts[-1]))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Histogram({self.name!r}, count={self._count}, "
+            f"sum={self._sum:.6g})"
+        )
+
+
+class _NullCounter(Counter):
+    """Shared do-nothing counter handed out by :data:`NULL_REGISTRY`."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class MetricsRegistry:
+    """Hands out instruments keyed by ``(kind, name, labels)``.
+
+    Calling :meth:`counter` (or :meth:`gauge`/:meth:`histogram`) twice
+    with the same name and labels returns the *same* instrument, so
+    callers never need to coordinate registration.  ``help_text`` given
+    at first registration is kept for the Prometheus exporter.
+    """
+
+    def __init__(self, *, enabled: bool = True):
+        self.enabled = bool(enabled)
+        self._lock = threading.Lock()
+        self._instruments: Dict[Tuple[str, str, LabelSet], object] = {}
+        self._help: Dict[str, str] = {}
+        self._sinks: List[Callable[[Event], None]] = []
+
+    # -- instruments -----------------------------------------------------
+    def _get_or_create(self, kind, name, labels, factory, help_text):
+        key = (kind, name, _labelset(labels))
+        with self._lock:
+            inst = self._instruments.get(key)
+            if inst is None:
+                inst = factory()
+                self._instruments[key] = inst
+                if help_text and name not in self._help:
+                    self._help[name] = help_text
+            return inst
+
+    def counter(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, str]] = None,
+        *,
+        help_text: str = "",
+    ) -> Counter:
+        return self._get_or_create(
+            "counter", name, labels, lambda: Counter(name, labels), help_text
+        )
+
+    def gauge(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, str]] = None,
+        *,
+        help_text: str = "",
+    ) -> Gauge:
+        return self._get_or_create(
+            "gauge", name, labels, lambda: Gauge(name, labels), help_text
+        )
+
+    def histogram(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, str]] = None,
+        *,
+        buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
+        help_text: str = "",
+    ) -> Histogram:
+        return self._get_or_create(
+            "histogram", name, labels,
+            lambda: Histogram(name, labels, buckets=buckets), help_text,
+        )
+
+    # -- events ----------------------------------------------------------
+    def add_event_sink(self, sink: Callable[[Event], None]) -> None:
+        """Register a callable invoked with every :class:`Event` emitted."""
+        with self._lock:
+            self._sinks.append(sink)
+
+    def remove_event_sink(self, sink: Callable[[Event], None]) -> None:
+        with self._lock:
+            self._sinks.remove(sink)
+
+    def emit(self, name: str, **fields) -> None:
+        """Deliver a structured event to every registered sink.
+
+        Cheap when nobody listens: without sinks this is one attribute
+        check.  Sinks must not raise; a raising sink propagates to the
+        emitting hot path by design (fail loudly, not silently drop).
+        """
+        if not self._sinks:
+            return
+        event = Event(name=name, fields=fields)
+        for sink in list(self._sinks):
+            sink(event)
+
+    # -- introspection ---------------------------------------------------
+    def collect(self) -> List[Tuple[str, str, object]]:
+        """``(kind, name, instrument)`` triples, sorted by (name, labels)."""
+        with self._lock:
+            items = list(self._instruments.items())
+        items.sort(key=lambda kv: (kv[0][1], kv[0][2]))
+        return [(kind, name, inst) for (kind, name, _), inst in items]
+
+    def help_for(self, name: str) -> str:
+        return self._help.get(name, "")
+
+    def snapshot(self) -> dict:
+        """JSON-compatible snapshot of every instrument."""
+        out: dict = {"counters": [], "gauges": [], "histograms": []}
+        for kind, name, inst in self.collect():
+            labels = dict(inst.labels)
+            if kind == "counter":
+                out["counters"].append(
+                    {"name": name, "labels": labels, "value": inst.value}
+                )
+            elif kind == "gauge":
+                out["gauges"].append(
+                    {"name": name, "labels": labels, "value": inst.value}
+                )
+            else:
+                out["histograms"].append({
+                    "name": name,
+                    "labels": labels,
+                    "count": inst.count,
+                    "sum": inst.sum,
+                    "buckets": [
+                        {"le": le, "cumulative": c}
+                        for le, c in inst.cumulative_counts()
+                    ],
+                })
+        return out
+
+    def reset(self) -> None:
+        """Drop every instrument (tests; sinks are kept)."""
+        with self._lock:
+            self._instruments.clear()
+            self._help.clear()
+
+
+class _NullRegistry(MetricsRegistry):
+    """Disabled registry: every instrument is a shared no-op singleton."""
+
+    def __init__(self):
+        super().__init__(enabled=False)
+        self._null_counter = _NullCounter("null")
+        self._null_gauge = _NullGauge("null")
+        self._null_histogram = _NullHistogram("null")
+
+    def counter(self, name, labels=None, *, help_text=""):
+        return self._null_counter
+
+    def gauge(self, name, labels=None, *, help_text=""):
+        return self._null_gauge
+
+    def histogram(self, name, labels=None, *, buckets=DEFAULT_LATENCY_BUCKETS,
+                  help_text=""):
+        return self._null_histogram
+
+    def emit(self, name, **fields):
+        pass
+
+
+#: The shared disabled registry: pass to any instrumented component to
+#: switch its observability off at near-zero cost.
+NULL_REGISTRY = _NullRegistry()
+
+_default_registry = MetricsRegistry()
+_default_lock = threading.Lock()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global default registry."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-global registry; returns the previous one.
+
+    Components bind the default registry at *construction* time, so
+    install the replacement before building the objects you want to
+    observe (the CLI's ``metrics`` command does exactly this).
+    """
+    global _default_registry
+    with _default_lock:
+        previous = _default_registry
+        _default_registry = registry
+    return previous

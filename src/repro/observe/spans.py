@@ -1,0 +1,104 @@
+"""Lightweight tracing spans that nest, time, and feed the registry.
+
+``with span("serve.plan"):`` times a region with ``perf_counter`` and
+records the elapsed seconds into the registry histogram
+``span_seconds{span="serve.plan"}``.  Spans nest per thread: the span
+opened inside another knows its parent (and its slash-joined path), so
+stage breakdowns fall out of the data instead of ad-hoc timers.
+
+The span object is yielded so callers can read ``sp.seconds`` after the
+block -- the serving layer uses this to keep its own per-instance stage
+accounting in sync with the registry without timing anything twice.
+With a disabled registry the span still times (two ``perf_counter``
+calls) but skips the stack and the histogram entirely.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Iterator, Optional
+
+from repro.observe.registry import MetricsRegistry, get_registry
+
+__all__ = ["Span", "span", "current_span"]
+
+#: Histogram every span's duration lands in (labelled by span name).
+SPAN_HISTOGRAM = "span_seconds"
+
+_stack = threading.local()
+
+
+class Span:
+    """One timed region; ``seconds`` is valid after the block exits."""
+
+    __slots__ = ("name", "parent", "seconds")
+
+    def __init__(self, name: str, parent: Optional["Span"] = None):
+        self.name = name
+        self.parent = parent
+        self.seconds = 0.0
+
+    @property
+    def path(self) -> str:
+        """Slash-joined names from the root span down to this one."""
+        if self.parent is None:
+            return self.name
+        return f"{self.parent.path}/{self.name}"
+
+    @property
+    def depth(self) -> int:
+        """Nesting depth (0 for a root span)."""
+        return 0 if self.parent is None else self.parent.depth + 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Span({self.path!r}, seconds={self.seconds:.6g})"
+
+
+def current_span() -> Optional[Span]:
+    """The innermost open span on this thread, if any."""
+    stack = getattr(_stack, "spans", None)
+    return stack[-1] if stack else None
+
+
+@contextmanager
+def span(
+    name: str, registry: Optional[MetricsRegistry] = None
+) -> Iterator[Span]:
+    """Time a region, nest it under the current span, feed the registry.
+
+    Parameters
+    ----------
+    name:
+        Span name; becomes the ``span`` label on :data:`SPAN_HISTOGRAM`.
+        Keep names low-cardinality (stage names, not request ids).
+    registry:
+        Defaults to the process-global registry
+        (:func:`~repro.observe.registry.get_registry`).
+    """
+    reg = get_registry() if registry is None else registry
+    if not reg.enabled:
+        sp = Span(name)
+        t0 = perf_counter()
+        try:
+            yield sp
+        finally:
+            sp.seconds = perf_counter() - t0
+        return
+    stack = getattr(_stack, "spans", None)
+    if stack is None:
+        stack = _stack.spans = []
+    sp = Span(name, parent=stack[-1] if stack else None)
+    stack.append(sp)
+    t0 = perf_counter()
+    try:
+        yield sp
+    finally:
+        sp.seconds = perf_counter() - t0
+        stack.pop()
+        reg.histogram(
+            SPAN_HISTOGRAM,
+            {"span": name},
+            help_text="Wall seconds spent inside each traced span.",
+        ).observe(sp.seconds)

@@ -61,13 +61,17 @@ def run_plan_spmm(
     *,
     max_rhs: Optional[int] = None,
 ) -> SpMMResult:
-    """Execute a plan against a multi-RHS block in one dispatch sequence.
+    """Execute a plan against a multi-RHS block.
 
-    The binning overhead and every kernel launch are paid once for the
-    whole block -- that amortisation is the point of batching.
-    ``max_rhs`` optionally caps the width of a single pass (wide blocks
-    trade RHS cache residency for amortisation); larger inputs are
-    split into column blocks whose times accumulate.
+    The binning overhead is paid once for the whole block -- the plan is
+    inspected once however wide the batch is.  Kernel launches are paid
+    once per *pass*: without ``max_rhs`` (or when ``k <= max_rhs``) the
+    whole block is one pass and launches amortise fully; with a cap the
+    block is split into column blocks, and every block is physically a
+    separate dispatch sequence that re-pays the plan's launches.  That
+    per-pass charge is deliberate -- a capped-width device cannot launch
+    one kernel over columns it never holds -- and is surfaced as
+    ``SpMMResult.n_passes``.
     """
     dense = np.asarray(dense, dtype=np.float64)
     if dense.ndim != 2 or dense.shape[0] != matrix.ncols:
@@ -85,18 +89,21 @@ def run_plan_spmm(
     seconds = overhead
     dispatch_times: list[float] = []
     launch_s = 0.0
+    n_passes = 0
     for lo, hi in iter_column_blocks(k, max_rhs):
         res = device.run_spmm(matrix, dense[:, lo:hi], plan.dispatches())
         U[:, lo:hi] = res.U
         seconds += res.seconds
         dispatch_times.extend(res.dispatch_seconds)
         launch_s += res.launch_seconds
+        n_passes += 1
     return SpMMResult(
         U=U,
         seconds=float(seconds),
         dispatch_seconds=tuple(dispatch_times),
         launch_seconds=launch_s,
         n_rhs=k,
+        n_passes=n_passes,
     )
 
 

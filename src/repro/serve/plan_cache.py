@@ -7,15 +7,30 @@ the stored :class:`~repro.core.plan.ExecutionPlan` object unchanged.
 Capacity is bounded (a server holding plans for millions of distinct
 patterns would itself become the memory problem), with
 least-recently-used eviction and observable hit/miss/eviction counters.
+
+Concurrency: every operation takes an internal ``RLock``, so concurrent
+``submit`` traffic from a thread pool cannot corrupt the ``OrderedDict``
+or lose counter increments.  :meth:`get_or_build` holds the lock across
+the builder call -- planning a pattern exactly once under concurrent
+first requests (no thundering herd of duplicate planner runs) is worth
+serialising the miss path; hits only take the lock briefly.
+
+Observability: the hit/miss/eviction tallies are
+:class:`~repro.observe.Counter` instruments (per-instance, read by the
+:meth:`stats` compat shim exactly like the old bare ints), and the cache
+additionally feeds the registry's aggregate ``plan_cache_*`` metrics and
+emits a ``cache_eviction`` event per evicted entry.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.core.plan import ExecutionPlan
+from repro.observe.registry import Counter, MetricsRegistry, get_registry
 from repro.serve.fingerprint import MatrixFingerprint
 
 __all__ = ["CacheStats", "PlanCache"]
@@ -50,74 +65,135 @@ class CacheStats:
 
 
 class PlanCache:
-    """Bounded fingerprint -> :class:`ExecutionPlan` LRU map."""
+    """Bounded fingerprint -> :class:`ExecutionPlan` LRU map (thread-safe).
 
-    def __init__(self, capacity: int = 128):
+    Parameters
+    ----------
+    capacity:
+        Bound on stored plans; least-recently-used entries evict first.
+    registry:
+        Metrics registry receiving the aggregate ``plan_cache_*``
+        counters, size gauge and ``cache_eviction`` events.  Defaults to
+        the process-global registry; pass
+        :data:`~repro.observe.NULL_REGISTRY` to opt out.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 128,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+    ):
         if capacity <= 0:
             raise ValueError(f"capacity must be > 0, got {capacity}")
         self.capacity = int(capacity)
+        self._lock = threading.RLock()
         self._entries: "OrderedDict[MatrixFingerprint, ExecutionPlan]" = (
             OrderedDict()
         )
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
+        # Per-instance tallies as metric instruments (the stats() shim
+        # reads .value where it used to read bare ints).
+        self._hits = Counter("plan_cache_hits")
+        self._misses = Counter("plan_cache_misses")
+        self._evictions = Counter("plan_cache_evictions")
+        # Registry-level aggregates (shared across caches on purpose).
+        self._registry = get_registry() if registry is None else registry
+        self._m_hits = self._registry.counter(
+            "plan_cache_hits_total",
+            help_text="Plan-cache lookups served from cache.",
+        )
+        self._m_misses = self._registry.counter(
+            "plan_cache_misses_total",
+            help_text="Plan-cache lookups that had to build a plan.",
+        )
+        self._m_evictions = self._registry.counter(
+            "plan_cache_evictions_total",
+            help_text="Plans evicted by the LRU bound.",
+        )
+        self._m_size = self._registry.gauge(
+            "plan_cache_size", help_text="Plans currently cached."
+        )
 
     # -- lookups ---------------------------------------------------------
     def get(self, fp: MatrixFingerprint) -> Optional[ExecutionPlan]:
         """The cached plan for ``fp`` (refreshing recency), else ``None``."""
-        plan = self._entries.get(fp)
-        if plan is None:
-            self._misses += 1
-            return None
-        self._entries.move_to_end(fp)
-        self._hits += 1
-        return plan
+        with self._lock:
+            plan = self._entries.get(fp)
+            if plan is None:
+                self._misses.inc()
+                self._m_misses.inc()
+                return None
+            self._entries.move_to_end(fp)
+            self._hits.inc()
+            self._m_hits.inc()
+            return plan
 
     def put(self, fp: MatrixFingerprint, plan: ExecutionPlan) -> None:
         """Insert (or refresh) a plan, evicting the LRU entry if full."""
-        if fp in self._entries:
-            self._entries.move_to_end(fp)
-        self._entries[fp] = plan
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self._evictions += 1
+        with self._lock:
+            if fp in self._entries:
+                self._entries.move_to_end(fp)
+            self._entries[fp] = plan
+            while len(self._entries) > self.capacity:
+                evicted_fp, _ = self._entries.popitem(last=False)
+                self._evictions.inc()
+                self._m_evictions.inc()
+                self._registry.emit(
+                    "cache_eviction",
+                    fingerprint=str(evicted_fp),
+                    size=len(self._entries),
+                    capacity=self.capacity,
+                )
+            self._m_size.set(len(self._entries))
 
     def get_or_build(
         self,
         fp: MatrixFingerprint,
         builder: Callable[[], ExecutionPlan],
     ) -> tuple[ExecutionPlan, bool]:
-        """``(plan, was_hit)``; runs ``builder`` and stores on a miss."""
-        plan = self.get(fp)
-        if plan is not None:
-            return plan, True
-        plan = builder()
-        self.put(fp, plan)
-        return plan, False
+        """``(plan, was_hit)``; runs ``builder`` and stores on a miss.
+
+        Holds the cache lock across ``builder`` so one pattern is never
+        planned twice by racing first requests.
+        """
+        with self._lock:
+            plan = self.get(fp)
+            if plan is not None:
+                return plan, True
+            plan = builder()
+            self.put(fp, plan)
+            return plan, False
 
     # -- invalidation ----------------------------------------------------
     def invalidate(self, fp: MatrixFingerprint) -> bool:
         """Drop one entry (e.g. after a device-spec change); True if present."""
-        return self._entries.pop(fp, None) is not None
+        with self._lock:
+            present = self._entries.pop(fp, None) is not None
+            self._m_size.set(len(self._entries))
+            return present
 
     def clear(self) -> None:
         """Drop every entry; counters are preserved."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
+            self._m_size.set(0)
 
     # -- introspection ---------------------------------------------------
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, fp: MatrixFingerprint) -> bool:
-        return fp in self._entries
+        with self._lock:
+            return fp in self._entries
 
     def stats(self) -> CacheStats:
         """Immutable snapshot of the counters."""
-        return CacheStats(
-            hits=self._hits,
-            misses=self._misses,
-            evictions=self._evictions,
-            size=len(self._entries),
-            capacity=self.capacity,
-        )
+        with self._lock:
+            return CacheStats(
+                hits=int(self._hits.value),
+                misses=int(self._misses.value),
+                evictions=int(self._evictions.value),
+                size=len(self._entries),
+                capacity=self.capacity,
+            )

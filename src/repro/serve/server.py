@@ -15,20 +15,31 @@ inspector--executor line:
 Iterative solvers, time-stepping codes and PageRank-style workloads all
 re-submit one pattern with changing values; after the first request they
 run plan-free.
+
+Concurrency: ``submit``/``submit_batch`` are safe to call from a thread
+pool -- the plan cache has its own lock and the server's counters and
+stage accounting sit behind an internal ``RLock``.
+
+Observability: each serving stage runs inside a tracing span
+(``serve.fingerprint`` / ``serve.plan`` / ``serve.execute``), and the
+server feeds ``serve_*`` counters and per-stage latency histograms to
+its metrics registry (the process-global one by default).
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Union
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
-from repro.core.plan import ExecutionPlan
 from repro.binning.single import SingleBinning
+from repro.core.plan import ExecutionPlan
 from repro.device.executor import SimulatedDevice, SpMMResult, SpMVResult
 from repro.formats.csr import CSRMatrix
+from repro.observe.registry import MetricsRegistry, get_registry
+from repro.observe.spans import span
 from repro.serve.batch import run_plan_spmm, run_plan_spmv
 from repro.serve.fingerprint import MatrixFingerprint, fingerprint_matrix
 from repro.serve.plan_cache import CacheStats, PlanCache
@@ -74,7 +85,7 @@ class SubmitResult:
     y: np.ndarray
     #: Simulated seconds the execution was accounted.
     seconds: float
-    #: Kernel launches in the (single) dispatch sequence this call issued.
+    #: Kernel launches in the dispatch sequence(s) this call issued.
     n_dispatches: int
     #: True when the plan came from the cache (planning skipped).
     cache_hit: bool
@@ -146,7 +157,15 @@ class SpMVServer:
         Bound on distinct sparsity patterns kept planned.
     max_rhs:
         Optional cap on columns per batched pass (wider submissions are
-        column-blocked internally; still one request in the stats).
+        column-blocked internally; still one request in the stats, but
+        each column block is a separate dispatch sequence physically --
+        see :meth:`submit_batch`).
+    registry:
+        Metrics registry the server (and its cache/device, unless they
+        were passed in pre-built) reports to.  Defaults to the
+        process-global registry; pass
+        :data:`~repro.observe.NULL_REGISTRY` to disable at near-zero
+        overhead.
     """
 
     def __init__(
@@ -157,6 +176,7 @@ class SpMVServer:
         device: Optional[SimulatedDevice] = None,
         cache_capacity: int = 128,
         max_rhs: Optional[int] = None,
+        registry: Optional[MetricsRegistry] = None,
     ):
         if planner is not None:
             self._planner: Planner = planner
@@ -164,14 +184,17 @@ class SpMVServer:
             self._planner = tuner.plan
         else:
             self._planner = heuristic_planner
+        self.registry = get_registry() if registry is None else registry
         if device is not None:
             self.device = device
         elif tuner is not None:
             self.device = tuner.device
         else:
-            self.device = SimulatedDevice()
-        self.cache = PlanCache(capacity=cache_capacity)
+            self.device = SimulatedDevice(registry=self.registry)
+        self.cache = PlanCache(capacity=cache_capacity,
+                               registry=self.registry)
         self.max_rhs = max_rhs
+        self._lock = threading.RLock()
         self._requests = 0
         self._batch_requests = 0
         self._rhs_served = 0
@@ -181,27 +204,63 @@ class SpMVServer:
         self._stage_seconds: Dict[str, float] = {
             "fingerprint": 0.0, "plan": 0.0, "execute": 0.0,
         }
+        # Registry instruments, resolved once (hot path does no lookups).
+        self._m_requests = {
+            kind: self.registry.counter(
+                "serve_requests_total", {"kind": kind},
+                help_text="submit/submit_batch calls served.",
+            )
+            for kind in ("single", "batch")
+        }
+        self._m_rhs = self.registry.counter(
+            "serve_rhs_total",
+            help_text="Right-hand sides served (a k-wide batch counts k).",
+        )
+        self._m_launches = self.registry.counter(
+            "serve_kernel_launches_total",
+            help_text="Kernel launches across all dispatch sequences.",
+        )
+        self._m_sim_seconds = self.registry.counter(
+            "serve_simulated_seconds_total",
+            help_text="Accumulated simulated execution seconds.",
+        )
+        self._m_stage = {
+            stage: self.registry.histogram(
+                "serve_stage_seconds", {"stage": stage},
+                help_text="Wall seconds per serving stage per request.",
+            )
+            for stage in ("fingerprint", "plan", "execute")
+        }
 
     # -- planning --------------------------------------------------------
     def _plan_for(
         self, matrix: CSRMatrix
     ) -> tuple[ExecutionPlan, MatrixFingerprint, bool]:
-        t0 = time.perf_counter()
-        fp = fingerprint_matrix(matrix)
-        t1 = time.perf_counter()
-        self._stage_seconds["fingerprint"] += t1 - t0
-        plan, hit = self.cache.get_or_build(fp, lambda: self._planner(matrix))
-        self._stage_seconds["plan"] += time.perf_counter() - t1
+        with span("serve.fingerprint", self.registry) as sp_fp:
+            fp = fingerprint_matrix(matrix)
+        with span("serve.plan", self.registry) as sp_plan:
+            plan, hit = self.cache.get_or_build(
+                fp, lambda: self._planner(matrix)
+            )
+        if not hit and plan.source == "heuristic":
+            self.registry.emit(
+                "planner_fallback", fingerprint=str(fp), source=plan.source
+            )
+        with self._lock:
+            self._stage_seconds["fingerprint"] += sp_fp.seconds
+            self._stage_seconds["plan"] += sp_plan.seconds
+        self._m_stage["fingerprint"].observe(sp_fp.seconds)
+        self._m_stage["plan"].observe(sp_plan.seconds)
         return plan, fp, hit
 
     # -- serving ---------------------------------------------------------
     def submit(self, matrix: CSRMatrix, x: np.ndarray) -> SubmitResult:
         """Serve one SpMV request: fingerprint, plan-or-hit, execute."""
         plan, fp, hit = self._plan_for(matrix)
-        t0 = time.perf_counter()
-        res: SpMVResult = run_plan_spmv(self.device, matrix, x, plan)
-        self._stage_seconds["execute"] += time.perf_counter() - t0
-        self._account(res.seconds, res.n_dispatches, n_rhs=1, batch=False)
+        with span("serve.execute", self.registry) as sp:
+            res: SpMVResult = run_plan_spmv(self.device, matrix, x, plan)
+        self._account(sp.seconds, res.seconds, res.n_dispatches,
+                      n_rhs=1, batch=False)
         return SubmitResult(
             y=res.u,
             seconds=res.seconds,
@@ -212,21 +271,23 @@ class SpMVServer:
         )
 
     def submit_batch(self, matrix: CSRMatrix, X: np.ndarray) -> SubmitResult:
-        """Serve ``k`` right-hand sides with a single dispatch sequence.
+        """Serve ``k`` right-hand sides in one request.
 
         Column ``j`` of the result is bit-identical to
-        ``submit(matrix, X[:, j]).y``, but the plan (and its binning
-        overhead and kernel launches) is charged once for the block.
+        ``submit(matrix, X[:, j]).y``.  The plan and its binning
+        overhead are charged once for the block; kernel launches are
+        charged once per *pass* -- a single pass when ``k <= max_rhs``
+        (or no cap is set), one pass per column block otherwise, since
+        each block is physically a separate dispatch sequence (see
+        :func:`~repro.serve.batch.run_plan_spmm`).
         """
         plan, fp, hit = self._plan_for(matrix)
-        t0 = time.perf_counter()
-        res: SpMMResult = run_plan_spmm(
-            self.device, matrix, X, plan, max_rhs=self.max_rhs
-        )
-        self._stage_seconds["execute"] += time.perf_counter() - t0
-        self._account(
-            res.seconds, res.n_dispatches, n_rhs=res.n_rhs, batch=True
-        )
+        with span("serve.execute", self.registry) as sp:
+            res: SpMMResult = run_plan_spmm(
+                self.device, matrix, X, plan, max_rhs=self.max_rhs
+            )
+        self._account(sp.seconds, res.seconds, res.n_dispatches,
+                      n_rhs=res.n_rhs, batch=True)
         return SubmitResult(
             y=res.U,
             seconds=res.seconds,
@@ -237,14 +298,27 @@ class SpMVServer:
         )
 
     def _account(
-        self, seconds: float, launches: int, *, n_rhs: int, batch: bool
+        self,
+        execute_wall: float,
+        seconds: float,
+        launches: int,
+        *,
+        n_rhs: int,
+        batch: bool,
     ) -> None:
-        self._requests += 1
-        self._batch_requests += 1 if batch else 0
-        self._rhs_served += n_rhs
-        self._dispatch_sequences += 1
-        self._kernel_launches += launches
-        self._simulated_seconds += seconds
+        with self._lock:
+            self._requests += 1
+            self._batch_requests += 1 if batch else 0
+            self._rhs_served += n_rhs
+            self._dispatch_sequences += 1
+            self._kernel_launches += launches
+            self._simulated_seconds += seconds
+            self._stage_seconds["execute"] += execute_wall
+        self._m_requests["batch" if batch else "single"].inc()
+        self._m_rhs.inc(n_rhs)
+        self._m_launches.inc(launches)
+        self._m_sim_seconds.inc(seconds)
+        self._m_stage["execute"].observe(execute_wall)
 
     # -- cache control ---------------------------------------------------
     def invalidate(self, matrix: CSRMatrix) -> bool:
@@ -258,13 +332,14 @@ class SpMVServer:
     # -- observability ---------------------------------------------------
     def stats(self) -> ServerStats:
         """Immutable snapshot of all serving counters."""
-        return ServerStats(
-            requests=self._requests,
-            batch_requests=self._batch_requests,
-            rhs_served=self._rhs_served,
-            dispatch_sequences=self._dispatch_sequences,
-            kernel_launches=self._kernel_launches,
-            simulated_seconds=self._simulated_seconds,
-            stage_seconds=dict(self._stage_seconds),
-            cache=self.cache.stats(),
-        )
+        with self._lock:
+            return ServerStats(
+                requests=self._requests,
+                batch_requests=self._batch_requests,
+                rhs_served=self._rhs_served,
+                dispatch_sequences=self._dispatch_sequences,
+                kernel_launches=self._kernel_launches,
+                simulated_seconds=self._simulated_seconds,
+                stage_seconds=dict(self._stage_seconds),
+                cache=self.cache.stats(),
+            )

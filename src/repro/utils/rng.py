@@ -11,7 +11,7 @@ DESIGN.md.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

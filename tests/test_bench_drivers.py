@@ -5,7 +5,6 @@ regressions surface in the unit suite, not only in the (slow) benchmark
 session.
 """
 
-import numpy as np
 import pytest
 
 from repro.bench.figures import (

@@ -113,8 +113,12 @@ class TestCoarseBinning:
             CoarseBinning(0)
 
     def test_default_granularities_match_paper(self):
-        assert DEFAULT_GRANULARITIES[:4] == (10, 20, 50, 100)
-        assert DEFAULT_GRANULARITIES[-1] == 10**6
+        # §III-B: "U is preset to be 10, 20, 50, 100, 200, 500, ..., 10^6".
+        # Pin the whole tuple: 200 and 500 were once silently missing,
+        # which narrowed the stage-1 tuning space.
+        assert DEFAULT_GRANULARITIES == (
+            10, 20, 50, 100, 200, 500, 1000, 10_000, 100_000, 1_000_000
+        )
 
     def test_overhead_decreases_with_u(self):
         """The Figure 8 effect: overhead shrinks as U grows."""

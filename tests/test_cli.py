@@ -1,7 +1,5 @@
 """Tests for the command-line interface."""
 
-import io
-
 import numpy as np
 import pytest
 

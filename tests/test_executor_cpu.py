@@ -6,7 +6,6 @@ import pytest
 from repro.binning import CoarseBinning, SingleBinning
 from repro.device import (
     CPUExecutor,
-    DeviceSpec,
     PartitionStrategy,
     SimulatedDevice,
 )

@@ -14,7 +14,7 @@ from repro.ml import (
     cross_validate,
     error_rate,
 )
-from repro.ml.rules import Condition, Rule
+from repro.ml.rules import Condition
 
 
 def make_dataset(X, y, n_classes=None):

@@ -240,6 +240,36 @@ class TestServer:
         np.testing.assert_array_equal(whole.U, chunked.U)
         assert isinstance(chunked, SpMMResult) and chunked.n_rhs == 7
 
+    def test_chunked_accounting_vs_unchunked(self):
+        """Per-pass launch charge is physical; binning overhead is not.
+
+        k=7 under max_rhs=3 takes ceil(7/3)=3 passes: each pass re-pays
+        the plan's kernel launches (a capped-width device cannot launch
+        over columns it never holds), while the inspector's binning
+        overhead is charged once for the whole block in both paths.
+        """
+        m = _matrix(10)
+        X = np.random.default_rng(11).standard_normal((m.ncols, 7))
+        plan = heuristic_planner(m)
+        dev = SimulatedDevice()
+        whole = run_plan_spmm(dev, m, X, plan)
+        chunked = run_plan_spmm(dev, m, X, plan, max_rhs=3)
+        assert whole.n_passes == 1
+        assert chunked.n_passes == 3
+        assert chunked.n_dispatches == chunked.n_passes * whole.n_dispatches
+        assert chunked.launch_seconds == pytest.approx(
+            chunked.n_passes * whole.launch_seconds
+        )
+        overhead_whole = (
+            whole.seconds - sum(whole.dispatch_seconds) - whole.launch_seconds
+        )
+        overhead_chunked = (
+            chunked.seconds
+            - sum(chunked.dispatch_seconds)
+            - chunked.launch_seconds
+        )
+        assert overhead_chunked == pytest.approx(overhead_whole)
+
     def test_run_plan_spmv_matches_reference(self):
         m = _matrix(12)
         x = np.random.default_rng(13).standard_normal(m.ncols)
@@ -279,3 +309,65 @@ class TestColumnBlocks:
     def test_rejects_bad_width(self):
         with pytest.raises(ValueError):
             list(iter_column_blocks(10, 0))
+
+
+class TestConcurrency:
+    """The serving path must hold its invariants under parallel clients."""
+
+    def test_concurrent_submit_invariants(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        server = SpMVServer(cache_capacity=8)
+        patterns = [_matrix(seed=s, nrows=120, ncols=120) for s in range(5)]
+        n_workers, per_worker = 8, 12
+
+        def client(wid):
+            rng = np.random.default_rng(wid)
+            ok = True
+            for i in range(per_worker):
+                m = patterns[(wid + i) % len(patterns)]
+                x = rng.standard_normal(m.ncols)
+                res = server.submit(m, x)
+                ok &= bool(np.allclose(res.y, m @ x, atol=1e-8))
+            return ok
+
+        with ThreadPoolExecutor(max_workers=n_workers) as pool:
+            assert all(pool.map(client, range(n_workers)))
+
+        stats = server.stats()
+        total = n_workers * per_worker
+        assert stats.requests == total
+        assert stats.rhs_served == total
+        assert stats.dispatch_sequences == total
+        assert stats.cache.hits + stats.cache.misses == total
+        # get_or_build holds the cache lock across the builder, so each
+        # distinct pattern is planned exactly once even when its first
+        # requests race.
+        assert stats.cache.misses == len(patterns)
+        assert stats.cache.size == len(patterns)
+        assert stats.cache.size <= 8
+        assert stats.cache.evictions == 0
+
+    def test_concurrent_eviction_pressure(self):
+        """Capacity smaller than the working set: size stays bounded and
+        the hit/miss/eviction ledger stays consistent."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        capacity = 3
+        server = SpMVServer(cache_capacity=capacity)
+        patterns = [_matrix(seed=s, nrows=80, ncols=80) for s in range(6)]
+
+        def client(wid):
+            for i in range(10):
+                m = patterns[(wid * 3 + i) % len(patterns)]
+                server.submit(m, np.ones(m.ncols))
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            list(pool.map(client, range(6)))
+
+        stats = server.stats()
+        assert stats.requests == 60
+        assert stats.cache.hits + stats.cache.misses == 60
+        assert stats.cache.size <= capacity
+        # every plan beyond capacity must have evicted something
+        assert stats.cache.evictions == stats.cache.misses - stats.cache.size
