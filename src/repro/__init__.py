@@ -53,6 +53,14 @@ from repro.formats import (
     write_matrix_market,
 )
 from repro.kernels import DEFAULT_KERNEL_NAMES, get_kernel, kernel_registry
+from repro.resilient import (
+    ChaosDevice,
+    CircuitBreaker,
+    FaultKind,
+    FaultSchedule,
+    ResiliencePolicy,
+    RetryPolicy,
+)
 from repro.serve import (
     MatrixFingerprint,
     PlanCache,
@@ -110,6 +118,13 @@ __all__ = [
     "PlanCache",
     "MatrixFingerprint",
     "fingerprint_matrix",
+    # resilience layer
+    "ResiliencePolicy",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "FaultSchedule",
+    "FaultKind",
+    "ChaosDevice",
     # extensions (paper SI / SVI generalisations)
     "BinnedSpGEMM",
     "spgemm_reference",

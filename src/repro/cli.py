@@ -50,12 +50,19 @@ from repro.formats.matrixmarket import read_matrix_market
 from repro.kernels.registry import DEFAULT_KERNEL_NAMES
 from repro.matrices import generators as gen
 from repro.matrices.collection import generate_collection
+from repro.device import SimulatedDevice
 from repro.observe import (
     MetricsRegistry,
     RecordingSink,
     set_registry,
     to_json,
     to_prometheus_text,
+)
+from repro.resilient import (
+    ChaosDevice,
+    FaultSchedule,
+    ResiliencePolicy,
+    RetryPolicy,
 )
 from repro.serve import SpMVServer
 
@@ -191,14 +198,33 @@ def _drive_demo_traffic(server: SpMVServer, args: argparse.Namespace) -> bool:
 
 
 def _build_demo_server(args: argparse.Namespace) -> SpMVServer:
+    device = resilience = None
+    if getattr(args, "chaos", False):
+        seed = args.chaos_seed if args.chaos_seed is not None else args.seed
+        device = ChaosDevice(
+            SimulatedDevice(),
+            FaultSchedule(rate=args.chaos_rate, seed=seed),
+        )
+        # Tight backoffs keep the demo snappy; the structure (retries,
+        # breaker, fallback) is what the run demonstrates.
+        resilience = ResiliencePolicy(
+            retry=RetryPolicy(max_attempts=4, backoff_base=1e-4,
+                              backoff_max=1e-2),
+        )
+        print(f"chaos: injecting faults at rate {args.chaos_rate:.0%} "
+              f"(seed {seed}), resilience enabled")
+    tuner = None
     if args.model:
         tuner = AutoTuner.load(args.model)
-        server = SpMVServer(tuner, cache_capacity=args.cache_capacity)
         print(f"serving with tuner {args.model}")
     else:
-        server = SpMVServer(cache_capacity=args.cache_capacity)
         print("serving with the heuristic planner (no --model given)")
-    return server
+    return SpMVServer(
+        tuner,
+        device=device,
+        cache_capacity=args.cache_capacity,
+        resilience=resilience,
+    )
 
 
 def _cmd_serve_demo(args: argparse.Namespace) -> int:
@@ -214,6 +240,12 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
         if registry is not None:
             set_registry(previous)
     print(server.stats().describe())
+    if isinstance(server.device, ChaosDevice):
+        counts = server.device.injected_counts()
+        injected = ", ".join(
+            f"{kind}={n}" for kind, n in sorted(counts.items())
+        ) or "none"
+        print(f"faults injected    : {sum(counts.values())} ({injected})")
     if registry is not None:
         print("\n--- metrics (prometheus) ---")
         print(to_prometheus_text(registry), end="")
@@ -328,6 +360,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--metrics", action="store_true",
                          help="also dump the metrics registry "
                               "(Prometheus text) after the run")
+    p_serve.add_argument("--chaos", action="store_true",
+                         help="inject seeded faults into the device and "
+                              "serve through the resilience layer "
+                              "(retries, breaker, serial fallback)")
+    p_serve.add_argument("--chaos-rate", type=float, default=0.1,
+                         help="per-execution fault probability "
+                              "(default 0.1)")
+    p_serve.add_argument("--chaos-seed", type=int, default=None,
+                         help="fault-schedule seed (defaults to --seed)")
     p_serve.set_defaults(func=_cmd_serve_demo)
 
     p_metrics = sub.add_parser(

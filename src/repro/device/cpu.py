@@ -24,10 +24,11 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from repro.errors import DeviceError, ShapeError
+from repro.errors import DeviceError
 from repro.formats.csr import CSRMatrix
 from repro.observe.registry import MetricsRegistry, get_registry
 from repro.utils.primitives import segmented_sum
+from repro.utils.validation import check_spmm_operand, check_spmv_operand
 
 __all__ = ["PartitionStrategy", "CPUExecutor", "row_partition"]
 
@@ -162,11 +163,7 @@ class CPUExecutor:
         scheduling smooths residual imbalance (the same reason GPU
         work-groups outnumber CUs).
         """
-        v = np.asarray(v, dtype=np.float64)
-        if v.shape != (matrix.ncols,):
-            raise ShapeError(
-                f"vector has shape {v.shape}, expected ({matrix.ncols},)"
-            )
+        v = check_spmv_operand(matrix.ncols, v)
         out = np.zeros(matrix.nrows)
         if matrix.nrows == 0:
             return out
@@ -217,12 +214,7 @@ class CPUExecutor:
         same row partitioning amortises the matrix traffic over ``k``
         output columns.
         """
-        dense = np.asarray(dense, dtype=np.float64)
-        if dense.ndim != 2 or dense.shape[0] != matrix.ncols:
-            raise ShapeError(
-                f"operand has shape {dense.shape}, expected "
-                f"({matrix.ncols}, k)"
-            )
+        dense = check_spmm_operand(matrix.ncols, dense)
         out = np.zeros((matrix.nrows, dense.shape[1]))
         if matrix.nrows == 0 or dense.shape[1] == 0:
             return out
@@ -242,11 +234,7 @@ class CPUExecutor:
 
     def spmv_serial(self, matrix: CSRMatrix, v: np.ndarray) -> np.ndarray:
         """Single-threaded baseline with the identical per-chunk code."""
-        v = np.asarray(v, dtype=np.float64)
-        if v.shape != (matrix.ncols,):
-            raise ShapeError(
-                f"vector has shape {v.shape}, expected ({matrix.ncols},)"
-            )
+        v = check_spmv_operand(matrix.ncols, v)
         out = np.zeros(matrix.nrows)
         self._chunk_spmv(matrix, v, 0, matrix.nrows, out)
         return out

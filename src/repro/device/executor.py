@@ -17,11 +17,12 @@ import numpy as np
 from repro.device.dispatch import DispatchStats, dispatch_seconds
 from repro.device.memory import effective_gather_locality
 from repro.device.spec import DeviceSpec
-from repro.errors import DeviceError, ShapeError
+from repro.errors import DeviceError
 from repro.formats.csr import CSRMatrix
 from repro.kernels.base import Kernel, row_products_batch
 from repro.observe.registry import MetricsRegistry, get_registry
 from repro.utils.primitives import segmented_sum_2d
+from repro.utils.validation import check_spmm_operand, check_spmv_operand
 
 __all__ = ["SimulatedDevice", "SpMVResult", "SpMMResult", "Dispatch"]
 
@@ -201,11 +202,7 @@ class SimulatedDevice:
         -------
         SpMVResult
         """
-        v = np.asarray(v, dtype=np.float64)
-        if v.shape != (matrix.ncols,):
-            raise ShapeError(
-                f"vector has shape {v.shape}, expected ({matrix.ncols},)"
-            )
+        v = check_spmv_operand(matrix.ncols, v)
         g = (effective_gather_locality(matrix, self.spec) if locality is None
              else float(locality))
 
@@ -276,12 +273,7 @@ class SimulatedDevice:
         charges each launch (and ``extra_seconds``, e.g. binning
         overhead) once, with bandwidth/instruction terms scaled by ``k``.
         """
-        dense = np.asarray(dense, dtype=np.float64)
-        if dense.ndim != 2 or dense.shape[0] != matrix.ncols:
-            raise ShapeError(
-                f"operand has shape {dense.shape}, expected "
-                f"({matrix.ncols}, k)"
-            )
+        dense = check_spmm_operand(matrix.ncols, dense)
         k = dense.shape[1]
         g = (effective_gather_locality(matrix, self.spec) if locality is None
              else float(locality))

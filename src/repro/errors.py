@@ -13,11 +13,14 @@ __all__ = [
     "FormatError",
     "ShapeError",
     "DeviceError",
+    "TransientDeviceError",
     "KernelError",
     "BinningError",
     "TrainingError",
     "NotFittedError",
     "MatrixMarketError",
+    "PlanExecutionError",
+    "DeadlineExceededError",
 ]
 
 
@@ -47,6 +50,16 @@ class DeviceError(ReproError):
     """
 
 
+class TransientDeviceError(DeviceError):
+    """A dispatch failed for a transient reason; retrying may succeed.
+
+    The retryable subset of :class:`DeviceError`: spurious launch
+    failures, watchdog resets, lost responses.  The resilience layer
+    (:mod:`repro.resilient`) retries these before degrading to the
+    fallback path.
+    """
+
+
 class KernelError(ReproError):
     """A kernel was configured with invalid launch parameters."""
 
@@ -65,3 +78,16 @@ class NotFittedError(TrainingError):
 
 class MatrixMarketError(FormatError):
     """A Matrix Market file could not be parsed or written."""
+
+
+class PlanExecutionError(ReproError):
+    """A tuned plan kept failing and no fallback was allowed to serve it.
+
+    Raised by the resilient serving path when every retry of a plan's
+    dispatch sequence failed (or produced non-finite output) and the
+    policy forbids degrading to the serial reference path.
+    """
+
+
+class DeadlineExceededError(ReproError):
+    """A request's retry/deadline budget ran out before it could succeed."""

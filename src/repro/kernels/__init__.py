@@ -27,6 +27,7 @@ Every kernel exposes:
 from repro.kernels.base import Kernel
 from repro.kernels.registry import (
     DEFAULT_KERNEL_NAMES,
+    SUBVECTOR_WIDTHS,
     get_kernel,
     kernel_registry,
 )
@@ -42,4 +43,5 @@ __all__ = [
     "kernel_registry",
     "get_kernel",
     "DEFAULT_KERNEL_NAMES",
+    "SUBVECTOR_WIDTHS",
 ]

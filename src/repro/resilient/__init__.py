@@ -1,0 +1,54 @@
+"""Fault injection and graceful degradation for the serving path.
+
+The paper's framework assumes every tuned kernel dispatch succeeds; a
+production server must instead survive bad plans, corrupt outputs and
+flaky executors.  This package generalises the "safe fallback kernel"
+idea of CSR-Adaptive and Elafrou et al.'s lightweight selection method
+into a first-class resilience layer:
+
+- :mod:`repro.resilient.faults` -- :class:`FaultSchedule` (seeded,
+  scriptable fault decisions) and :class:`ChaosDevice` (a
+  fault-injecting wrapper over the simulated device) for chaos testing;
+- :mod:`repro.resilient.retry` -- :class:`RetryPolicy`, bounded retries
+  with exponential backoff and a deadline budget;
+- :mod:`repro.resilient.breaker` -- per-plan :class:`CircuitBreaker`
+  (CLOSED / OPEN / HALF_OPEN);
+- :mod:`repro.resilient.executor` -- :class:`ResilientExecutor`, the
+  loop tying them together with graceful degradation to the serial
+  reference path, fully metered through :mod:`repro.observe`.
+
+:class:`~repro.serve.SpMVServer` activates all of it via its
+``resilience=ResiliencePolicy(...)`` parameter; without one the hot
+path is byte-for-byte the non-resilient one.
+"""
+
+from repro.resilient.breaker import BreakerState, CircuitBreaker
+from repro.resilient.executor import (
+    ExecutionOutcome,
+    ResiliencePolicy,
+    ResilienceStats,
+    ResilientExecutor,
+)
+from repro.resilient.faults import (
+    DEFAULT_FAULT_MIX,
+    ChaosDevice,
+    FaultKind,
+    FaultSchedule,
+    unwrap_device,
+)
+from repro.resilient.retry import RetryPolicy
+
+__all__ = [
+    "FaultKind",
+    "FaultSchedule",
+    "ChaosDevice",
+    "DEFAULT_FAULT_MIX",
+    "unwrap_device",
+    "RetryPolicy",
+    "BreakerState",
+    "CircuitBreaker",
+    "ResiliencePolicy",
+    "ResilienceStats",
+    "ExecutionOutcome",
+    "ResilientExecutor",
+]

@@ -1,0 +1,151 @@
+"""Per-plan circuit breaker: stop hammering a plan that keeps failing.
+
+Classic three-state machine (CLOSED -> OPEN -> HALF_OPEN -> ...):
+
+- **CLOSED**: executions flow; ``failure_threshold`` *consecutive*
+  failures trip the breaker OPEN (any success resets the streak);
+- **OPEN**: executions are refused outright for ``recovery_seconds`` --
+  the resilient server short-circuits straight to the fallback path
+  instead of burning retries on a plan that is known-bad;
+- **HALF_OPEN**: after the cooldown one probe execution is let through;
+  ``half_open_successes`` consecutive successes close the breaker, any
+  failure re-opens it (restarting the cooldown).
+
+The clock is injectable so the chaos suite drives transitions with a
+fake monotonic time, and every transition can feed a callback (the
+resilient executor uses it for metrics/events).
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from typing import Callable, Optional
+
+__all__ = ["BreakerState", "CircuitBreaker"]
+
+
+class BreakerState(enum.Enum):
+    """The three positions of the breaker."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+#: Signature of the transition hook: ``(breaker, old_state, new_state)``.
+TransitionHook = Callable[["CircuitBreaker", BreakerState, BreakerState], None]
+
+
+class CircuitBreaker:
+    """Thread-safe consecutive-failure circuit breaker.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures (while CLOSED) that trip the breaker.
+    recovery_seconds:
+        Cooldown before an OPEN breaker lets a probe through.
+    half_open_successes:
+        Consecutive probe successes required to close again.
+    clock:
+        Monotonic time source (injectable for tests).
+    on_transition:
+        Optional hook invoked (outside the internal lock is *not*
+        guaranteed; keep it cheap) on every state change.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        recovery_seconds: float = 30.0,
+        *,
+        half_open_successes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: Optional[TransitionHook] = None,
+    ):
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if recovery_seconds < 0.0:
+            raise ValueError(
+                f"recovery_seconds must be >= 0, got {recovery_seconds}"
+            )
+        if half_open_successes < 1:
+            raise ValueError(
+                f"half_open_successes must be >= 1, got {half_open_successes}"
+            )
+        self.failure_threshold = int(failure_threshold)
+        self.recovery_seconds = float(recovery_seconds)
+        self.half_open_successes = int(half_open_successes)
+        self._clock = clock
+        self._on_transition = on_transition
+        self._lock = threading.Lock()
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._probe_successes = 0
+        self._opened_at = 0.0
+
+    # ------------------------------------------------------------------
+    def _transition(self, new: BreakerState) -> None:
+        old, self._state = self._state, new
+        if new is BreakerState.OPEN:
+            self._opened_at = self._clock()
+            self._consecutive_failures = 0
+            self._probe_successes = 0
+        elif new is BreakerState.CLOSED:
+            self._consecutive_failures = 0
+            self._probe_successes = 0
+        if self._on_transition is not None and old is not new:
+            self._on_transition(self, old, new)
+
+    @property
+    def state(self) -> BreakerState:
+        """Current state (OPEN may flip to HALF_OPEN on the next ``allow``)."""
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        """May an execution proceed right now?
+
+        An OPEN breaker whose cooldown elapsed moves to HALF_OPEN and
+        admits the call as its probe.
+        """
+        with self._lock:
+            if self._state is BreakerState.CLOSED:
+                return True
+            if self._state is BreakerState.OPEN:
+                if self._clock() - self._opened_at >= self.recovery_seconds:
+                    self._transition(BreakerState.HALF_OPEN)
+                    return True
+                return False
+            return True  # HALF_OPEN: probes flow
+
+    def record_success(self) -> None:
+        """Feed one successful execution into the state machine."""
+        with self._lock:
+            if self._state is BreakerState.HALF_OPEN:
+                self._probe_successes += 1
+                if self._probe_successes >= self.half_open_successes:
+                    self._transition(BreakerState.CLOSED)
+            else:
+                self._consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        """Feed one failed execution into the state machine."""
+        with self._lock:
+            if self._state is BreakerState.HALF_OPEN:
+                self._transition(BreakerState.OPEN)
+            elif self._state is BreakerState.CLOSED:
+                self._consecutive_failures += 1
+                if self._consecutive_failures >= self.failure_threshold:
+                    self._transition(BreakerState.OPEN)
+            # OPEN: refused calls do not record; nothing to count.
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CircuitBreaker(state={self._state.value}, "
+            f"failures={self._consecutive_failures}/{self.failure_threshold})"
+        )

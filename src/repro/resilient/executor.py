@@ -1,0 +1,389 @@
+"""The resilience engine: retries, breakers, graceful degradation.
+
+:class:`ResilientExecutor` is the policy-driven loop the serving path
+runs every tuned execution through when resilience is enabled:
+
+1. consult the per-plan :class:`~repro.resilient.breaker.CircuitBreaker`
+   -- an OPEN breaker short-circuits straight to the fallback (no point
+   burning retries on a plan that is known-bad);
+2. attempt the tuned execution, validating the output (NaN/Inf poisoning
+   counts as a failure -- silent corruption must not reach callers);
+3. on failure, retry with exponential backoff per the
+   :class:`~repro.resilient.retry.RetryPolicy`, honouring its deadline
+   budget;
+4. when retries are exhausted (or the deadline would be overrun, or the
+   breaker is open): record the failure, run the degradation hook (the
+   server invalidates the cached plan there) and serve the request from
+   the fallback path -- or, with fallback disabled, *shed* it by raising
+   :class:`~repro.errors.PlanExecutionError` /
+   :class:`~repro.errors.DeadlineExceededError`.
+
+Every outcome lands in the metrics registry (``resilient_*`` counters,
+breaker-transition counters, an open-breaker gauge) and as structured
+events, so a chaos run is fully auditable from the Prometheus export.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, Optional, Tuple, TypeVar
+
+from repro.errors import (
+    DeadlineExceededError,
+    PlanExecutionError,
+    ReproError,
+)
+from repro.observe.registry import MetricsRegistry, get_registry
+from repro.resilient.breaker import BreakerState, CircuitBreaker
+from repro.resilient.retry import RetryPolicy
+
+__all__ = [
+    "ResiliencePolicy",
+    "ResilienceStats",
+    "ExecutionOutcome",
+    "ResilientExecutor",
+]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Everything the resilient serving path is allowed to do.
+
+    Parameters
+    ----------
+    retry:
+        Backoff/deadline budget per request.
+    breaker_failure_threshold, breaker_recovery_seconds,
+    breaker_half_open_successes:
+        Per-plan circuit-breaker configuration (see
+        :class:`~repro.resilient.breaker.CircuitBreaker`).
+    fallback_enabled:
+        When true (default), exhausted requests degrade to the caller's
+        fallback path; when false they are shed with an exception.
+    validate_outputs:
+        When true (default), a returned result failing the caller's
+        finiteness check counts as a failed attempt.
+    max_breakers:
+        Bound on tracked per-plan breakers (least-recently-used plans
+        forget their breaker state first) -- a server seeing millions of
+        distinct patterns must not leak breaker objects.
+    sleep, clock:
+        Injectable time functions (chaos tests replace both).
+    """
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    breaker_failure_threshold: int = 5
+    breaker_recovery_seconds: float = 30.0
+    breaker_half_open_successes: int = 1
+    fallback_enabled: bool = True
+    validate_outputs: bool = True
+    max_breakers: int = 1024
+    sleep: Callable[[float], None] = time.sleep
+    clock: Callable[[], float] = time.monotonic
+
+    def __post_init__(self) -> None:
+        if self.max_breakers < 1:
+            raise ValueError(f"max_breakers must be >= 1, got {self.max_breakers}")
+
+
+@dataclass(frozen=True)
+class ResilienceStats:
+    """Point-in-time snapshot of one executor's accounting."""
+
+    #: Tuned-plan executions attempted (including retries).
+    attempts: int
+    #: Attempts beyond the first, across all requests.
+    retries: int
+    #: Attempts that failed (raise or invalid output).
+    failures: int
+    #: Requests served by the fallback path, by cause.
+    fallbacks: Dict[str, int]
+    #: Requests refused outright (fallback disabled).
+    shed: int
+    #: Breaker trips (transitions to OPEN).
+    breaker_opens: int
+    #: Breakers currently in the OPEN state.
+    breakers_open_now: int
+
+    @property
+    def fallback_total(self) -> int:
+        """Requests served degraded, all causes."""
+        return sum(self.fallbacks.values())
+
+    def describe(self) -> str:
+        """Readable one-per-line summary (CLI / logs)."""
+        causes = ", ".join(
+            f"{c}={n}" for c, n in sorted(self.fallbacks.items())
+        ) or "none"
+        return "\n".join([
+            f"attempts           : {self.attempts} "
+            f"({self.retries} retries, {self.failures} failed)",
+            f"fallbacks          : {self.fallback_total} ({causes})",
+            f"shed requests      : {self.shed}",
+            f"breaker            : {self.breaker_opens} opens "
+            f"({self.breakers_open_now} open now)",
+        ])
+
+
+@dataclass(frozen=True)
+class ExecutionOutcome:
+    """How one request travelled through the resilience loop."""
+
+    #: Tuned-plan attempts made for this request (0 when the breaker
+    #: short-circuited straight to the fallback).
+    attempts: int
+    #: True when the fallback path produced the result.
+    degraded: bool
+    #: Why the request degraded (``retries_exhausted`` / ``deadline`` /
+    #: ``breaker_open``); ``None`` for a tuned success.
+    cause: Optional[str] = None
+
+
+#: Degradation causes (the ``cause`` label of ``resilient_fallbacks_total``).
+_CAUSES = ("retries_exhausted", "deadline", "breaker_open")
+
+
+class ResilientExecutor:
+    """Runs executions through retry + breaker + fallback per the policy."""
+
+    def __init__(
+        self,
+        policy: ResiliencePolicy,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        self.policy = policy
+        self.registry = get_registry() if registry is None else registry
+        self._lock = threading.Lock()
+        self._breakers: "OrderedDict[Hashable, CircuitBreaker]" = OrderedDict()
+        self._attempts = 0
+        self._retries = 0
+        self._failures = 0
+        self._fallbacks: Dict[str, int] = {}
+        self._shed = 0
+        self._breaker_opens = 0
+        self._m_retries = self.registry.counter(
+            "resilient_retries_total",
+            help_text="Tuned-plan attempts beyond the first.",
+        )
+        self._m_failures = self.registry.counter(
+            "resilient_failures_total",
+            help_text="Tuned-plan attempts that failed "
+                      "(raised or produced non-finite output).",
+        )
+        self._m_fallbacks = {
+            cause: self.registry.counter(
+                "resilient_fallbacks_total", {"cause": cause},
+                help_text="Requests served by the fallback path, by cause.",
+            )
+            for cause in _CAUSES
+        }
+        self._m_shed = self.registry.counter(
+            "resilient_shed_total",
+            help_text="Requests refused outright (fallback disabled).",
+        )
+        self._m_transitions = {
+            state: self.registry.counter(
+                "resilient_breaker_transitions_total", {"to": state.value},
+                help_text="Circuit-breaker state transitions, by new state.",
+            )
+            for state in BreakerState
+        }
+        self._m_open_now = self.registry.gauge(
+            "resilient_breakers_open",
+            help_text="Circuit breakers currently open.",
+        )
+
+    # -- breakers --------------------------------------------------------
+    def _on_transition(
+        self, breaker: CircuitBreaker, old: BreakerState, new: BreakerState
+    ) -> None:
+        self._m_transitions[new].inc()
+        if new is BreakerState.OPEN:
+            with self._lock:
+                self._breaker_opens += 1
+            self._m_open_now.inc()
+            self.registry.emit("breaker_open", previous=old.value)
+        elif old is BreakerState.OPEN:
+            self._m_open_now.dec()
+
+    def breaker_for(self, key: Hashable) -> CircuitBreaker:
+        """The breaker guarding ``key`` (created on first use, LRU-bounded)."""
+        with self._lock:
+            breaker = self._breakers.get(key)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    self.policy.breaker_failure_threshold,
+                    self.policy.breaker_recovery_seconds,
+                    half_open_successes=self.policy.breaker_half_open_successes,
+                    clock=self.policy.clock,
+                    on_transition=self._on_transition,
+                )
+                self._breakers[key] = breaker
+                while len(self._breakers) > self.policy.max_breakers:
+                    _, dropped = self._breakers.popitem(last=False)
+                    if dropped.state is BreakerState.OPEN:
+                        self._m_open_now.dec()
+            else:
+                self._breakers.move_to_end(key)
+            return breaker
+
+    # -- the loop --------------------------------------------------------
+    def execute(
+        self,
+        key: Hashable,
+        attempt: Callable[[], T],
+        *,
+        fallback: Optional[Callable[[], T]] = None,
+        validate: Optional[Callable[[T], bool]] = None,
+        on_degrade: Optional[Callable[[str], None]] = None,
+    ) -> Tuple[T, ExecutionOutcome]:
+        """Run one request through retry + breaker + degradation.
+
+        Parameters
+        ----------
+        key:
+            Identity of the tuned plan (per-plan breaker key).
+        attempt:
+            The tuned execution; may raise any
+            :class:`~repro.errors.ReproError` or return a result.
+        fallback:
+            The always-correct degraded execution.  Required when the
+            policy has ``fallback_enabled``.
+        validate:
+            Optional predicate on the attempt's result; a falsy verdict
+            counts as a failed attempt (used for NaN/Inf detection).
+            Skipped when the policy has ``validate_outputs`` off.
+        on_degrade:
+            Hook invoked once with the cause before the fallback runs /
+            the request is shed (the server invalidates its plan cache
+            entry here).
+
+        Returns
+        -------
+        (result, ExecutionOutcome)
+
+        Raises
+        ------
+        PlanExecutionError
+            Fallback disabled and retries exhausted / breaker open.
+        DeadlineExceededError
+            Fallback disabled and the deadline budget ran out.
+        """
+        policy = self.policy
+        breaker = self.breaker_for(key)
+        if not breaker.allow():
+            return self._degrade(
+                "breaker_open", None, fallback, on_degrade, attempts=0
+            )
+        deadline_at = (
+            policy.clock() + policy.retry.deadline
+            if policy.retry.deadline is not None else None
+        )
+        attempts = 0
+        while True:
+            attempts += 1
+            with self._lock:
+                self._attempts += 1
+                if attempts > 1:
+                    self._retries += 1
+            if attempts > 1:
+                self._m_retries.inc()
+            failure: Optional[ReproError] = None
+            try:
+                result = attempt()
+                if (policy.validate_outputs and validate is not None
+                        and not validate(result)):
+                    failure = PlanExecutionError(
+                        "tuned execution returned non-finite output"
+                    )
+            except ReproError as exc:
+                failure = exc
+            if failure is None:
+                breaker.record_success()
+                return result, ExecutionOutcome(attempts=attempts,
+                                                degraded=False)
+            with self._lock:
+                self._failures += 1
+            self._m_failures.inc()
+            self.registry.emit(
+                "resilient_attempt_failed",
+                attempt=attempts,
+                error=type(failure).__name__,
+            )
+            if attempts >= policy.retry.max_attempts:
+                breaker.record_failure()
+                return self._degrade(
+                    "retries_exhausted", failure, fallback, on_degrade,
+                    attempts=attempts,
+                )
+            delay = policy.retry.backoff_seconds(attempts)
+            if deadline_at is not None and policy.clock() + delay > deadline_at:
+                breaker.record_failure()
+                return self._degrade(
+                    "deadline", failure, fallback, on_degrade,
+                    attempts=attempts,
+                )
+            policy.sleep(delay)
+
+    def _degrade(
+        self,
+        cause: str,
+        failure: Optional[ReproError],
+        fallback: Optional[Callable[[], T]],
+        on_degrade: Optional[Callable[[str], None]],
+        *,
+        attempts: int,
+    ) -> Tuple[T, ExecutionOutcome]:
+        """Serve from the fallback path, or shed the request."""
+        if on_degrade is not None:
+            on_degrade(cause)
+        if self.policy.fallback_enabled and fallback is not None:
+            with self._lock:
+                self._fallbacks[cause] = self._fallbacks.get(cause, 0) + 1
+            self._m_fallbacks[cause].inc()
+            self.registry.emit("plan_fallback", cause=cause, attempts=attempts)
+            result = fallback()
+            return result, ExecutionOutcome(
+                attempts=attempts, degraded=True, cause=cause
+            )
+        with self._lock:
+            self._shed += 1
+        self._m_shed.inc()
+        self.registry.emit("request_shed", cause=cause, attempts=attempts)
+        if cause == "deadline":
+            raise DeadlineExceededError(
+                f"request exceeded its deadline budget after {attempts} "
+                f"attempt(s)"
+            ) from failure
+        raise PlanExecutionError(
+            f"tuned plan failed ({cause}) after {attempts} attempt(s) and "
+            f"fallback is disabled"
+        ) from failure
+
+    # -- observability ---------------------------------------------------
+    def stats(self) -> ResilienceStats:
+        """Immutable snapshot of the resilience accounting."""
+        with self._lock:
+            breakers = list(self._breakers.values())
+        # Query breaker states outside our lock: the transition hook
+        # acquires our lock while holding a breaker's, so nesting the
+        # other way here would risk an ABBA deadlock.
+        open_now = sum(
+            1 for b in breakers if b.state is BreakerState.OPEN
+        )
+        with self._lock:
+            return ResilienceStats(
+                attempts=self._attempts,
+                retries=self._retries,
+                failures=self._failures,
+                fallbacks=dict(self._fallbacks),
+                shed=self._shed,
+                breaker_opens=self._breaker_opens,
+                breakers_open_now=open_now,
+            )

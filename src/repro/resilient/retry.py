@@ -1,0 +1,79 @@
+"""Bounded retries with exponential backoff and a deadline budget.
+
+The policy object is deliberately *pure*: it answers "how long before
+attempt ``n + 1``?" and "may another attempt start before the deadline?"
+deterministically, so the backoff sequence can be asserted exactly in
+tests.  The loop that consumes it (sleep, clock, failure classification)
+lives in :mod:`repro.resilient.executor`, with both the sleep and the
+clock injectable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry a failing execution, and how patiently.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts including the first (``1`` disables retrying).
+    backoff_base:
+        Delay in seconds before the second attempt.
+    backoff_multiplier:
+        Growth factor between consecutive delays (``>= 1``).
+    backoff_max:
+        Upper bound on any single delay.
+    deadline:
+        Optional wall-clock budget in seconds for the whole request
+        (attempts plus backoffs).  When the next backoff would overrun
+        it, the resilient executor degrades (or sheds) instead of
+        sleeping past the budget.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.005
+    backoff_multiplier: float = 2.0
+    backoff_max: float = 0.25
+    deadline: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_base < 0.0:
+            raise ValueError(f"backoff_base must be >= 0, got {self.backoff_base}")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError(
+                f"backoff_multiplier must be >= 1, got {self.backoff_multiplier}"
+            )
+        if self.backoff_max < self.backoff_base:
+            raise ValueError(
+                f"backoff_max ({self.backoff_max}) must be >= backoff_base "
+                f"({self.backoff_base})"
+            )
+        if self.deadline is not None and self.deadline <= 0.0:
+            raise ValueError(f"deadline must be > 0, got {self.deadline}")
+
+    def backoff_seconds(self, attempt: int) -> float:
+        """Delay before attempt ``attempt + 1`` (``attempt`` is 1-based).
+
+        ``base * multiplier**(attempt - 1)``, capped at ``backoff_max``.
+        """
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        return min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_multiplier ** (attempt - 1),
+        )
+
+    def delays(self) -> Tuple[float, ...]:
+        """The full backoff sequence: one delay between consecutive attempts."""
+        return tuple(
+            self.backoff_seconds(a) for a in range(1, self.max_attempts)
+        )

@@ -15,6 +15,10 @@ make tuned SpMV *reusable*:
   single dispatch sequence, on the simulated device and the real CPU;
 - :mod:`repro.serve.server` -- the :class:`SpMVServer` façade tying it
   together behind ``submit`` / ``submit_batch`` with observable stats.
+
+Resilience (retries, per-plan circuit breakers, graceful degradation to
+the serial reference path) plugs in through the server's ``resilience``
+parameter -- see :mod:`repro.resilient`.
 """
 
 from repro.serve.batch import (

@@ -29,8 +29,8 @@ import numpy as np
 from repro.core.plan import ExecutionPlan
 from repro.device.cpu import CPUExecutor, PartitionStrategy
 from repro.device.executor import SimulatedDevice, SpMMResult, SpMVResult
-from repro.errors import ShapeError
 from repro.formats.csr import CSRMatrix
+from repro.utils.validation import check_spmm_operand
 
 __all__ = [
     "run_plan_spmv",
@@ -73,11 +73,7 @@ def run_plan_spmm(
     one kernel over columns it never holds -- and is surfaced as
     ``SpMMResult.n_passes``.
     """
-    dense = np.asarray(dense, dtype=np.float64)
-    if dense.ndim != 2 or dense.shape[0] != matrix.ncols:
-        raise ShapeError(
-            f"operand has shape {dense.shape}, expected ({matrix.ncols}, k)"
-        )
+    dense = check_spmm_operand(matrix.ncols, dense)
     overhead = plan.scheme.overhead_seconds(matrix, device.spec)
     k = dense.shape[1]
     if max_rhs is None or k <= max_rhs:

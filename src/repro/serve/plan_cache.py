@@ -45,6 +45,8 @@ class CacheStats:
     evictions: int
     size: int
     capacity: int
+    #: Entries dropped explicitly (device change, plan degradation).
+    invalidations: int = 0
 
     @property
     def lookups(self) -> int:
@@ -96,6 +98,7 @@ class PlanCache:
         self._hits = Counter("plan_cache_hits")
         self._misses = Counter("plan_cache_misses")
         self._evictions = Counter("plan_cache_evictions")
+        self._invalidations = Counter("plan_cache_invalidations")
         # Registry-level aggregates (shared across caches on purpose).
         self._registry = get_registry() if registry is None else registry
         self._m_hits = self._registry.counter(
@@ -109,6 +112,11 @@ class PlanCache:
         self._m_evictions = self._registry.counter(
             "plan_cache_evictions_total",
             help_text="Plans evicted by the LRU bound.",
+        )
+        self._m_invalidations = self._registry.counter(
+            "plan_cache_invalidations_total",
+            help_text="Plans dropped explicitly (invalidate calls that "
+                      "found an entry).",
         )
         self._m_size = self._registry.gauge(
             "plan_cache_size", help_text="Plans currently cached."
@@ -166,9 +174,17 @@ class PlanCache:
 
     # -- invalidation ----------------------------------------------------
     def invalidate(self, fp: MatrixFingerprint) -> bool:
-        """Drop one entry (e.g. after a device-spec change); True if present."""
+        """Drop one entry (device change, plan degradation); True if present.
+
+        The resilient serving path calls this when a cached plan keeps
+        failing, so the next request for the pattern re-plans instead of
+        replaying the bad plan forever.
+        """
         with self._lock:
             present = self._entries.pop(fp, None) is not None
+            if present:
+                self._invalidations.inc()
+                self._m_invalidations.inc()
             self._m_size.set(len(self._entries))
             return present
 
@@ -196,4 +212,5 @@ class PlanCache:
                 evictions=int(self._evictions.value),
                 size=len(self._entries),
                 capacity=self.capacity,
+                invalidations=int(self._invalidations.value),
             )

@@ -24,6 +24,14 @@ Observability: each serving stage runs inside a tracing span
 (``serve.fingerprint`` / ``serve.plan`` / ``serve.execute``), and the
 server feeds ``serve_*`` counters and per-stage latency histograms to
 its metrics registry (the process-global one by default).
+
+Resilience: pass ``resilience=ResiliencePolicy(...)`` and every tuned
+execution runs through :class:`~repro.resilient.ResilientExecutor` --
+bounded retries with backoff, a per-plan circuit breaker, and graceful
+degradation that invalidates the failing cached plan and serves the
+request from the always-correct serial reference path (bypassing any
+chaos wrapper on the device).  Without a policy the hot path is the
+plain one: no extra objects, no extra branches beyond one ``is None``.
 """
 
 from __future__ import annotations
@@ -40,9 +48,16 @@ from repro.device.executor import SimulatedDevice, SpMMResult, SpMVResult
 from repro.formats.csr import CSRMatrix
 from repro.observe.registry import MetricsRegistry, get_registry
 from repro.observe.spans import span
+from repro.resilient.executor import (
+    ResiliencePolicy,
+    ResilienceStats,
+    ResilientExecutor,
+)
+from repro.resilient.faults import unwrap_device
 from repro.serve.batch import run_plan_spmm, run_plan_spmv
 from repro.serve.fingerprint import MatrixFingerprint, fingerprint_matrix
 from repro.serve.plan_cache import CacheStats, PlanCache
+from repro.utils.validation import check_spmm_operand, check_spmv_operand
 
 __all__ = ["SpMVServer", "ServerStats", "SubmitResult", "heuristic_planner"]
 
@@ -91,6 +106,13 @@ class SubmitResult:
     cache_hit: bool
     fingerprint: MatrixFingerprint
     plan: ExecutionPlan
+    #: Tuned-plan attempts this request took (0 when an open breaker
+    #: short-circuited straight to the fallback; always 1 without a
+    #: resilience policy).
+    attempts: int = 1
+    #: True when the fallback (serial reference) path produced ``y``
+    #: after the tuned plan kept failing.
+    degraded: bool = False
 
 
 @dataclass(frozen=True)
@@ -112,6 +134,8 @@ class ServerStats:
     #: Wall seconds per serving stage (``fingerprint``/``plan``/``execute``).
     stage_seconds: Dict[str, float]
     cache: CacheStats
+    #: Resilience accounting; ``None`` when no policy is configured.
+    resilience: Optional[ResilienceStats] = None
 
     @property
     def hit_rate(self) -> float:
@@ -135,6 +159,11 @@ class ServerStats:
             lines.append(
                 f"  {stage + ' stage':<17s}: "
                 f"{self.stage_seconds.get(stage, 0.0) * 1e3:.3f} ms wall"
+            )
+        if self.resilience is not None:
+            lines.append("resilience:")
+            lines.extend(
+                "  " + line for line in self.resilience.describe().splitlines()
             )
         return "\n".join(lines)
 
@@ -166,6 +195,13 @@ class SpMVServer:
         process-global registry; pass
         :data:`~repro.observe.NULL_REGISTRY` to disable at near-zero
         overhead.
+    resilience:
+        Optional :class:`~repro.resilient.ResiliencePolicy`.  When set,
+        tuned executions are retried with backoff, guarded by a
+        per-plan circuit breaker, output-validated against NaN/Inf
+        poisoning, and degraded to the serial reference path (with the
+        cached plan invalidated) when they keep failing.  ``None``
+        (default) keeps the hot path exactly as before.
     """
 
     def __init__(
@@ -177,6 +213,7 @@ class SpMVServer:
         cache_capacity: int = 128,
         max_rhs: Optional[int] = None,
         registry: Optional[MetricsRegistry] = None,
+        resilience: Optional[ResiliencePolicy] = None,
     ):
         if planner is not None:
             self._planner: Planner = planner
@@ -193,6 +230,11 @@ class SpMVServer:
             self.device = SimulatedDevice(registry=self.registry)
         self.cache = PlanCache(capacity=cache_capacity,
                                registry=self.registry)
+        self.resilience = resilience
+        self._resilient = (
+            ResilientExecutor(resilience, registry=self.registry)
+            if resilience is not None else None
+        )
         self.max_rhs = max_rhs
         self._lock = threading.RLock()
         self._requests = 0
@@ -253,12 +295,77 @@ class SpMVServer:
         self._m_stage["plan"].observe(sp_plan.seconds)
         return plan, fp, hit
 
+    # -- input validation ------------------------------------------------
+    @staticmethod
+    def _validate_rhs(
+        matrix: CSRMatrix, rhs: np.ndarray, *, batch: bool
+    ) -> np.ndarray:
+        """Check an operand *before* planning touches the cache.
+
+        A malformed vector must raise :class:`~repro.errors.ShapeError`
+        up front -- not surface a NumPy broadcast/cast error mid-execute
+        after a cache entry was already created for the pattern.
+        """
+        if batch:
+            return check_spmm_operand(matrix.ncols, rhs)
+        return check_spmv_operand(matrix.ncols, rhs)
+
+    # -- graceful degradation --------------------------------------------
+    @staticmethod
+    def _fallback_plan(matrix: CSRMatrix) -> ExecutionPlan:
+        """The always-correct degraded plan: one bin, serial kernel."""
+        binning = SingleBinning().bin_rows(matrix)
+        return ExecutionPlan(
+            scheme=SingleBinning(),
+            binning=binning,
+            bin_kernels={b: "serial" for b, _ in binning.non_empty()},
+            source="fallback",
+        )
+
+    def _degrade_plan(self, fp: MatrixFingerprint, cause: str) -> None:
+        """Drop the failing cached plan and record the downgrade."""
+        invalidated = self.cache.invalidate(fp)
+        self.registry.emit(
+            "plan_invalidated",
+            fingerprint=str(fp),
+            cause=cause,
+            was_cached=invalidated,
+        )
+
     # -- serving ---------------------------------------------------------
     def submit(self, matrix: CSRMatrix, x: np.ndarray) -> SubmitResult:
         """Serve one SpMV request: fingerprint, plan-or-hit, execute."""
+        x = self._validate_rhs(matrix, x, batch=False)
         plan, fp, hit = self._plan_for(matrix)
+        if self._resilient is None:
+            with span("serve.execute", self.registry) as sp:
+                res: SpMVResult = run_plan_spmv(self.device, matrix, x, plan)
+            self._account(sp.seconds, res.seconds, res.n_dispatches,
+                          n_rhs=1, batch=False)
+            return SubmitResult(
+                y=res.u,
+                seconds=res.seconds,
+                n_dispatches=res.n_dispatches,
+                cache_hit=hit,
+                fingerprint=fp,
+                plan=plan,
+            )
+        fb: Dict[str, ExecutionPlan] = {}  # built only if degradation hits
+
+        def _fallback() -> SpMVResult:
+            fb["plan"] = self._fallback_plan(matrix)
+            return run_plan_spmv(
+                unwrap_device(self.device), matrix, x, fb["plan"]
+            )
+
         with span("serve.execute", self.registry) as sp:
-            res: SpMVResult = run_plan_spmv(self.device, matrix, x, plan)
+            res, outcome = self._resilient.execute(
+                fp,
+                lambda: run_plan_spmv(self.device, matrix, x, plan),
+                fallback=_fallback,
+                validate=lambda r: bool(np.isfinite(r.u).all()),
+                on_degrade=lambda cause: self._degrade_plan(fp, cause),
+            )
         self._account(sp.seconds, res.seconds, res.n_dispatches,
                       n_rhs=1, batch=False)
         return SubmitResult(
@@ -267,7 +374,9 @@ class SpMVServer:
             n_dispatches=res.n_dispatches,
             cache_hit=hit,
             fingerprint=fp,
-            plan=plan,
+            plan=fb["plan"] if outcome.degraded else plan,
+            attempts=outcome.attempts,
+            degraded=outcome.degraded,
         )
 
     def submit_batch(self, matrix: CSRMatrix, X: np.ndarray) -> SubmitResult:
@@ -281,10 +390,41 @@ class SpMVServer:
         each block is physically a separate dispatch sequence (see
         :func:`~repro.serve.batch.run_plan_spmm`).
         """
+        X = self._validate_rhs(matrix, X, batch=True)
         plan, fp, hit = self._plan_for(matrix)
+        if self._resilient is None:
+            with span("serve.execute", self.registry) as sp:
+                res: SpMMResult = run_plan_spmm(
+                    self.device, matrix, X, plan, max_rhs=self.max_rhs
+                )
+            self._account(sp.seconds, res.seconds, res.n_dispatches,
+                          n_rhs=res.n_rhs, batch=True)
+            return SubmitResult(
+                y=res.U,
+                seconds=res.seconds,
+                n_dispatches=res.n_dispatches,
+                cache_hit=hit,
+                fingerprint=fp,
+                plan=plan,
+            )
+        fb: Dict[str, ExecutionPlan] = {}  # built only if degradation hits
+
+        def _fallback() -> SpMMResult:
+            fb["plan"] = self._fallback_plan(matrix)
+            return run_plan_spmm(
+                unwrap_device(self.device), matrix, X, fb["plan"],
+                max_rhs=self.max_rhs,
+            )
+
         with span("serve.execute", self.registry) as sp:
-            res: SpMMResult = run_plan_spmm(
-                self.device, matrix, X, plan, max_rhs=self.max_rhs
+            res, outcome = self._resilient.execute(
+                fp,
+                lambda: run_plan_spmm(
+                    self.device, matrix, X, plan, max_rhs=self.max_rhs
+                ),
+                fallback=_fallback,
+                validate=lambda r: bool(np.isfinite(r.U).all()),
+                on_degrade=lambda cause: self._degrade_plan(fp, cause),
             )
         self._account(sp.seconds, res.seconds, res.n_dispatches,
                       n_rhs=res.n_rhs, batch=True)
@@ -294,7 +434,9 @@ class SpMVServer:
             n_dispatches=res.n_dispatches,
             cache_hit=hit,
             fingerprint=fp,
-            plan=plan,
+            plan=fb["plan"] if outcome.degraded else plan,
+            attempts=outcome.attempts,
+            degraded=outcome.degraded,
         )
 
     def _account(
@@ -342,4 +484,8 @@ class SpMVServer:
                 simulated_seconds=self._simulated_seconds,
                 stage_seconds=dict(self._stage_seconds),
                 cache=self.cache.stats(),
+                resilience=(
+                    self._resilient.stats()
+                    if self._resilient is not None else None
+                ),
             )

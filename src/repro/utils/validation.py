@@ -3,7 +3,9 @@
 These helpers centralise the defensive checks used across the library so
 error messages are consistent and each call site stays one line long.
 They raise built-in exception types (``ValueError`` / ``TypeError``) for
-programming errors; domain errors use :mod:`repro.errors`.
+programming errors; domain errors use :mod:`repro.errors` (the operand
+checks below raise :class:`~repro.errors.ShapeError`, the error every
+execution surface promises for malformed SpMV/SpMM operands).
 """
 
 from __future__ import annotations
@@ -12,7 +14,51 @@ import numbers
 
 import numpy as np
 
-__all__ = ["check_1d", "check_dtype", "check_positive", "check_probability"]
+from repro.errors import ShapeError
+
+__all__ = [
+    "check_1d",
+    "check_dtype",
+    "check_positive",
+    "check_probability",
+    "check_spmv_operand",
+    "check_spmm_operand",
+]
+
+#: NumPy dtype kinds accepted as SpMV/SpMM operand values.
+_NUMERIC_KINDS = "fiub"
+
+
+def check_spmv_operand(ncols: int, v: np.ndarray) -> np.ndarray:
+    """Validate an SpMV right-hand side; return it as float64.
+
+    Raises :class:`~repro.errors.ShapeError` for a non-numeric dtype or
+    a shape other than ``(ncols,)`` -- *before* any execution or cache
+    mutation can happen downstream.
+    """
+    v = np.asarray(v)
+    if v.dtype.kind not in _NUMERIC_KINDS:
+        raise ShapeError(
+            f"operand dtype {v.dtype} is not numeric (expected float/int/bool)"
+        )
+    if v.shape != (ncols,):
+        raise ShapeError(f"vector has shape {v.shape}, expected ({ncols},)")
+    return np.asarray(v, dtype=np.float64)
+
+
+def check_spmm_operand(ncols: int, dense: np.ndarray) -> np.ndarray:
+    """Validate a multi-RHS block; return it as float64 ``(ncols, k)``."""
+    dense = np.asarray(dense)
+    if dense.dtype.kind not in _NUMERIC_KINDS:
+        raise ShapeError(
+            f"operand dtype {dense.dtype} is not numeric "
+            f"(expected float/int/bool)"
+        )
+    if dense.ndim != 2 or dense.shape[0] != ncols:
+        raise ShapeError(
+            f"operand has shape {dense.shape}, expected ({ncols}, k)"
+        )
+    return np.asarray(dense, dtype=np.float64)
 
 
 def check_1d(arr: np.ndarray, name: str) -> np.ndarray:

@@ -1,0 +1,140 @@
+"""Chaos test harness: seeded fault schedules + resilient-server rigs.
+
+Shared ammunition for ``tests/test_resilient.py`` (and any future chaos
+suite): builders that assemble a chaos-wrapped device plus a resilient
+:class:`~repro.serve.SpMVServer` with injectable time (no real
+sleeping), a seeded mixed single/batched workload generator reusing the
+differential oracles, and the ``REPRO_CHAOS_SEED`` environment hook the
+CI chaos job uses to replay the whole suite under different fault
+sequences.
+
+Everything is deterministic per seed: the same seed replays the same
+faults, the same matrices and the same right-hand sides.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.device.executor import SimulatedDevice
+from repro.formats.csr import CSRMatrix
+from repro.observe import MetricsRegistry
+from repro.resilient import (
+    ChaosDevice,
+    FaultSchedule,
+    ResiliencePolicy,
+    RetryPolicy,
+)
+from repro.serve import SpMVServer
+
+from tests.differential import make_rhs, make_rhs_block, pathological_matrices
+
+__all__ = [
+    "chaos_seed",
+    "FakeClock",
+    "SleepRecorder",
+    "build_chaos_server",
+    "chaos_workload",
+]
+
+
+def chaos_seed(default: int = 0) -> int:
+    """The suite-wide fault seed (CI overrides via ``REPRO_CHAOS_SEED``)."""
+    return int(os.environ.get("REPRO_CHAOS_SEED", default))
+
+
+class FakeClock:
+    """A monotonic clock the test advances by hand (or per sleep)."""
+
+    def __init__(self, start: float = 0.0):
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += float(seconds)
+
+
+class SleepRecorder:
+    """A sleep stand-in that records every requested delay.
+
+    Optionally advances a :class:`FakeClock` by the slept amount, so
+    deadline logic sees time passing without the test actually waiting.
+    """
+
+    def __init__(self, clock: Optional[FakeClock] = None):
+        self.calls: List[float] = []
+        self.clock = clock
+
+    def __call__(self, seconds: float) -> None:
+        self.calls.append(float(seconds))
+        if self.clock is not None:
+            self.clock.advance(seconds)
+
+
+def build_chaos_server(
+    *,
+    rate: float = 0.1,
+    seed: Optional[int] = None,
+    script=None,
+    registry: Optional[MetricsRegistry] = None,
+    retry: Optional[RetryPolicy] = None,
+    clock: Optional[FakeClock] = None,
+    **policy_kwargs,
+) -> Tuple[SpMVServer, ChaosDevice, SleepRecorder]:
+    """A resilient server over a chaos device, with fake time.
+
+    Returns ``(server, chaos_device, sleep_recorder)``.  The registry
+    defaults to a *fresh* one so metric assertions are isolated;
+    ``policy_kwargs`` forward to :class:`ResiliencePolicy` (breaker
+    thresholds, ``fallback_enabled``, ...).
+    """
+    registry = MetricsRegistry() if registry is None else registry
+    clock = FakeClock() if clock is None else clock
+    sleeper = SleepRecorder(clock)
+    schedule = FaultSchedule(
+        rate=rate,
+        seed=chaos_seed() if seed is None else seed,
+        script=script,
+    )
+    device = ChaosDevice(SimulatedDevice(registry=registry), schedule)
+    policy = ResiliencePolicy(
+        retry=retry if retry is not None else RetryPolicy(
+            max_attempts=3, backoff_base=0.001, backoff_max=0.01
+        ),
+        sleep=sleeper,
+        clock=clock,
+        **policy_kwargs,
+    )
+    server = SpMVServer(
+        device=device, registry=registry, resilience=policy
+    )
+    return server, device, sleeper
+
+
+def chaos_workload(
+    n_requests: int,
+    *,
+    seed: Optional[int] = None,
+    batch_every: int = 5,
+    batch_k: int = 4,
+) -> Iterator[Tuple[str, CSRMatrix, np.ndarray]]:
+    """A seeded mixed workload: ``(label, matrix, rhs)`` triples.
+
+    Cycles the differential suite's pathological matrices (skipping the
+    zero-column degenerates whose RHS would be empty is unnecessary --
+    they serve fine) and yields a ``(ncols, k)`` block every
+    ``batch_every``-th request, a vector otherwise.
+    """
+    cases = pathological_matrices(seed=chaos_seed() if seed is None else seed)
+    for i in range(n_requests):
+        label, matrix = cases[i % len(cases)]
+        if batch_every and i % batch_every == batch_every - 1:
+            rhs = make_rhs_block(matrix, batch_k, seed=i)
+        else:
+            rhs = make_rhs(matrix, seed=i)
+        yield label, matrix, rhs

@@ -1,0 +1,157 @@
+"""Property/fuzz suite: format conversions must be lossless.
+
+Seeded randomized round-trips CSR -> {COO, ELL, HYB, DIA} -> CSR and a
+Matrix Market write/read cycle, asserting the canonical CSR arrays come
+back *identical* (``np.array_equal``, not allclose) and that ``A @ x``
+is bit-exact before and after.  Matrices are canonicalised through
+:meth:`CSRMatrix.from_coo_arrays` first (row-major, sorted columns) so
+every conversion has one well-defined representation to return to, and
+values are kept strictly positive so formats that drop stored zeros
+(DIA) cannot silently lose entries.
+
+The edge shapes ride along explicitly: all-zero matrices, ``0 x n`` and
+``1 x n`` degenerates, and empty rows interleaved with real work.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.formats import (
+    COOMatrix,
+    CSRMatrix,
+    DIAMatrix,
+    ELLMatrix,
+    HYBMatrix,
+    convert,
+    read_matrix_market,
+    write_matrix_market,
+)
+
+FORMATS = ("coo", "ell", "hyb", "dia")
+
+#: (name, builder) pairs covering the degenerate shapes conversions
+#: historically get wrong.
+EDGE_CASES = [
+    ("all_zero", lambda rng: CSRMatrix.empty((6, 5))),
+    ("zero_rows", lambda rng: CSRMatrix.empty((0, 4))),
+    ("zero_cols_no_nnz", lambda rng: CSRMatrix.empty((5, 0))),
+    ("single_row", lambda rng: _random_csr(rng, [7], 12)),
+    ("single_full_row", lambda rng: _random_csr(rng, [9], 9)),
+    ("single_entry", lambda rng: _random_csr(rng, [1], 1)),
+    ("empty_rows_mixed", lambda rng: _random_csr(
+        rng, [0, 3, 0, 0, 5, 0, 1, 0], 10)),
+    ("identity", lambda rng: CSRMatrix.identity(8)),
+    ("dense_block", lambda rng: _random_csr(rng, [6] * 6, 6)),
+]
+
+
+def _random_csr(rng, lengths, ncols) -> CSRMatrix:
+    """A canonical CSR matrix with positive values."""
+    m = CSRMatrix.from_row_lengths(
+        np.asarray(lengths, dtype=np.int64), ncols, rng=rng
+    )
+    return CSRMatrix(m.rowptr, m.colidx, rng.random(m.nnz) + 0.5, m.shape)
+
+
+def _canonical(matrix: CSRMatrix) -> CSRMatrix:
+    """Re-sort through COO triplets: row-major, columns ascending."""
+    rows = np.repeat(np.arange(matrix.nrows, dtype=np.int64),
+                     matrix.row_lengths())
+    return CSRMatrix.from_coo_arrays(
+        rows, matrix.colidx, matrix.val, matrix.shape, sum_duplicates=False
+    )
+
+
+def _fuzz_matrices(n: int = 12, seed: int = 0):
+    """Seeded random shapes: ragged, wide, tall, sparse and dense-ish."""
+    rng = np.random.default_rng(seed)
+    out = []
+    for i in range(n):
+        nrows = int(rng.integers(1, 30))
+        ncols = int(rng.integers(1, 30))
+        lengths = rng.integers(0, ncols + 1, size=nrows)
+        out.append((f"fuzz_{i}_{nrows}x{ncols}",
+                    _random_csr(rng, lengths, ncols)))
+    return out
+
+
+def _all_cases():
+    rng = np.random.default_rng(7)
+    cases = [(name, build(rng)) for name, build in EDGE_CASES]
+    cases.extend(_fuzz_matrices())
+    return cases
+
+
+def _assert_csr_identical(a: CSRMatrix, b: CSRMatrix, context: str) -> None:
+    assert a.shape == b.shape, f"{context}: shape changed"
+    assert np.array_equal(a.rowptr, b.rowptr), f"{context}: rowptr changed"
+    assert np.array_equal(a.colidx, b.colidx), f"{context}: colidx changed"
+    assert np.array_equal(a.val, b.val), f"{context}: values changed"
+
+
+def _assert_spmv_bit_exact(a: CSRMatrix, b: CSRMatrix, context: str) -> None:
+    x = np.random.default_rng(1).random(a.ncols) + 0.5
+    assert np.array_equal(a @ x, b @ x), f"{context}: A @ x changed"
+
+
+@pytest.mark.parametrize(
+    "name,matrix", _all_cases(), ids=[n for n, _ in _all_cases()]
+)
+@pytest.mark.parametrize("fmt", FORMATS)
+def test_roundtrip_preserves_csr_exactly(fmt, name, matrix):
+    matrix = _canonical(matrix)
+    other = convert(matrix, fmt)
+    back = convert(other, "csr")
+    _assert_csr_identical(matrix, back, f"csr->{fmt}->csr [{name}]")
+    _assert_spmv_bit_exact(matrix, back, f"csr->{fmt}->csr [{name}]")
+
+
+@pytest.mark.parametrize(
+    "name,matrix", _all_cases(), ids=[n for n, _ in _all_cases()]
+)
+def test_chained_conversion_through_every_format(name, matrix):
+    current = _canonical(matrix)
+    trail = "csr"
+    for fmt in FORMATS:
+        current = convert(convert(current, fmt), "csr")
+        trail += f"->{fmt}->csr"
+    _assert_csr_identical(_canonical(matrix), current, f"{trail} [{name}]")
+    _assert_spmv_bit_exact(_canonical(matrix), current, f"{trail} [{name}]")
+
+
+@pytest.mark.parametrize(
+    "name,matrix", _all_cases(), ids=[n for n, _ in _all_cases()]
+)
+def test_matrixmarket_roundtrip_is_bit_exact(name, matrix):
+    matrix = _canonical(matrix)
+    buf = io.StringIO()
+    write_matrix_market(matrix, buf, comment=f"case {name}")
+    buf.seek(0)
+    back = read_matrix_market(buf)
+    _assert_csr_identical(matrix, back, f"mm-roundtrip [{name}]")
+    _assert_spmv_bit_exact(matrix, back, f"mm-roundtrip [{name}]")
+
+
+def test_conversion_classes_match_string_targets():
+    matrix = _canonical(_random_csr(np.random.default_rng(3), [2, 0, 4], 6))
+    for fmt, cls in (("coo", COOMatrix), ("ell", ELLMatrix),
+                     ("hyb", HYBMatrix), ("dia", DIAMatrix)):
+        by_name = convert(matrix, fmt)
+        by_class = convert(matrix, cls)
+        assert type(by_name) is type(by_class) is cls
+        _assert_csr_identical(
+            convert(by_name, "csr"), convert(by_class, CSRMatrix),
+            f"{fmt} by-name vs by-class",
+        )
+
+
+@pytest.mark.parametrize("fmt", FORMATS)
+def test_roundtrip_preserves_nnz_count(fmt):
+    for name, matrix in _fuzz_matrices(6, seed=21):
+        matrix = _canonical(matrix)
+        back = convert(convert(matrix, fmt), "csr")
+        assert back.nnz == matrix.nnz, f"{fmt} changed nnz for {name}"

@@ -1,0 +1,82 @@
+"""Regression pin: the paper's nine-kernel candidate pool is frozen.
+
+Kernel names are the ``kernelID`` target labels of the second classifier
+stage -- a trained model is only valid against the exact registry it was
+fitted on.  Renaming, reordering, dropping or adding a kernel silently
+invalidates every persisted model and plan, so the full roster (names,
+order, widths) is pinned here and any change must be a conscious one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernels import (
+    DEFAULT_KERNEL_NAMES,
+    SUBVECTOR_WIDTHS,
+    get_kernel,
+    kernel_registry,
+)
+
+#: The paper's pool: serial + seven subvector widths + vector = nine.
+PINNED_NAMES = (
+    "serial",
+    "subvector2",
+    "subvector4",
+    "subvector8",
+    "subvector16",
+    "subvector32",
+    "subvector64",
+    "subvector128",
+    "vector",
+)
+
+PINNED_WIDTHS = (2, 4, 8, 16, 32, 64, 128)
+
+
+def test_exactly_nine_kernels():
+    assert len(DEFAULT_KERNEL_NAMES) == 9
+    assert len(kernel_registry()) == 9
+
+
+def test_names_and_order_are_pinned():
+    assert DEFAULT_KERNEL_NAMES == PINNED_NAMES
+
+
+def test_subvector_widths_are_pinned():
+    assert SUBVECTOR_WIDTHS == PINNED_WIDTHS
+
+
+def test_registry_keys_match_declared_names():
+    assert tuple(kernel_registry().keys()) == DEFAULT_KERNEL_NAMES
+
+
+@pytest.mark.parametrize("width", PINNED_WIDTHS)
+def test_each_subvector_kernel_carries_its_width(width):
+    kernel = get_kernel(f"subvector{width}")
+    assert kernel.x == width
+    assert kernel.name == f"subvector{width}"
+
+
+@pytest.mark.parametrize("name", PINNED_NAMES)
+def test_every_pinned_kernel_resolves_to_its_name(name):
+    assert get_kernel(name).name == name
+
+
+def test_registry_returns_singletons():
+    assert get_kernel("serial") is get_kernel("serial")
+    assert kernel_registry()["vector"] is get_kernel("vector")
+
+
+def test_registry_copy_is_defensive():
+    reg = kernel_registry()
+    reg.pop("serial")
+    assert "serial" in kernel_registry()
+
+
+@pytest.mark.parametrize("name", ["", "subvector3", "subvector", "Serial",
+                                  "vector2", "scalar"])
+def test_unknown_names_raise_kernel_error(name):
+    with pytest.raises(KernelError):
+        get_kernel(name)

@@ -1,0 +1,617 @@
+"""Chaos suite for the resilience layer (``repro.resilient``).
+
+Every fault sequence here is scripted or seeded -- re-running with the
+same ``REPRO_CHAOS_SEED`` replays the exact same chaos.  The invariant
+under test is the layer's whole point: *no fault the policy covers may
+ever surface an incorrect result* -- a surviving ``submit`` either
+returns the tuned answer or degrades to the serial reference path, and
+both must equal ``A @ x``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.device.executor import SimulatedDevice
+from repro.errors import (
+    DeadlineExceededError,
+    DeviceError,
+    KernelError,
+    PlanExecutionError,
+    ShapeError,
+    TransientDeviceError,
+)
+from repro.formats.csr import CSRMatrix
+from repro.observe import MetricsRegistry, to_prometheus_text
+from repro.resilient import (
+    BreakerState,
+    ChaosDevice,
+    CircuitBreaker,
+    FaultKind,
+    FaultSchedule,
+    ResiliencePolicy,
+    RetryPolicy,
+    unwrap_device,
+)
+from repro.serve import SpMVServer, heuristic_planner
+
+from tests.chaos import (
+    FakeClock,
+    build_chaos_server,
+    chaos_seed,
+    chaos_workload,
+)
+from tests.differential import assert_matches_reference, make_rhs
+
+pytestmark = pytest.mark.chaos
+
+
+def _matrix(seed: int = 7, nrows: int = 40, ncols: int = 48) -> CSRMatrix:
+    rng = np.random.default_rng(seed)
+    lengths = rng.integers(1, 9, size=nrows)
+    m = CSRMatrix.from_row_lengths(lengths, ncols, rng=rng)
+    return CSRMatrix(m.rowptr, m.colidx, rng.random(m.nnz) + 0.5, m.shape)
+
+
+# ---------------------------------------------------------------------------
+# FaultSchedule
+# ---------------------------------------------------------------------------
+class TestFaultSchedule:
+    def test_rate_zero_never_fires(self):
+        sched = FaultSchedule(rate=0.0, seed=1)
+        assert all(sched.draw() is None for _ in range(200))
+        assert sched.drawn == 200
+
+    def test_rate_one_always_fires(self):
+        sched = FaultSchedule(rate=1.0, seed=1)
+        kinds = [sched.draw() for _ in range(200)]
+        assert all(isinstance(k, FaultKind) for k in kinds)
+
+    def test_same_seed_replays_same_sequence(self):
+        a = FaultSchedule(rate=0.5, seed=42)
+        b = FaultSchedule(rate=0.5, seed=42)
+        assert [a.draw() for _ in range(300)] == [b.draw() for _ in range(300)]
+
+    def test_different_seeds_differ(self):
+        a = FaultSchedule(rate=0.5, seed=0)
+        b = FaultSchedule(rate=0.5, seed=1)
+        assert ([a.draw() for _ in range(300)]
+                != [b.draw() for _ in range(300)])
+
+    def test_script_overrides_rate(self):
+        script = [FaultKind.TRANSIENT, None, FaultKind.NAN_POISON]
+        sched = FaultSchedule(rate=0.0, seed=0, script=script)
+        assert sched.draw() is FaultKind.TRANSIENT
+        assert sched.draw() is None
+        assert sched.draw() is FaultKind.NAN_POISON
+        # Beyond the script's end: fault-free.
+        assert sched.draw() is None
+
+    def test_mix_restricts_kinds(self):
+        sched = FaultSchedule(rate=1.0, seed=3,
+                              mix={FaultKind.KERNEL: 1.0})
+        assert all(sched.draw() is FaultKind.KERNEL for _ in range(50))
+
+    @pytest.mark.parametrize("rate", [-0.1, 1.5])
+    def test_invalid_rate_raises(self, rate):
+        with pytest.raises(ValueError):
+            FaultSchedule(rate=rate)
+
+    def test_empty_mix_raises(self):
+        with pytest.raises(ValueError):
+            FaultSchedule(mix={})
+        with pytest.raises(ValueError):
+            FaultSchedule(mix={FaultKind.DEVICE: 0.0})
+
+
+# ---------------------------------------------------------------------------
+# ChaosDevice
+# ---------------------------------------------------------------------------
+class TestChaosDevice:
+    def _device(self, script, registry=None, **kwargs):
+        registry = MetricsRegistry() if registry is None else registry
+        inner = SimulatedDevice(registry=registry)
+        return ChaosDevice(
+            inner, FaultSchedule(script=script), **kwargs
+        ), inner
+
+    def _run(self, device, matrix, x):
+        plan = heuristic_planner(matrix)
+        return device.run_spmv(matrix, x, plan.dispatches())
+
+    @pytest.mark.parametrize("kind,exc", [
+        (FaultKind.TRANSIENT, TransientDeviceError),
+        (FaultKind.DEVICE, DeviceError),
+        (FaultKind.KERNEL, KernelError),
+    ])
+    def test_raising_kinds(self, kind, exc):
+        device, _ = self._device([kind])
+        matrix, x = _matrix(), make_rhs(_matrix())
+        with pytest.raises(exc):
+            self._run(device, matrix, x)
+        assert device.injected_counts() == {kind.value: 1}
+
+    @pytest.mark.parametrize("kind,check", [
+        (FaultKind.NAN_POISON, np.isnan),
+        (FaultKind.INF_POISON, np.isinf),
+    ])
+    def test_poison_corrupts_output(self, kind, check):
+        device, _ = self._device([kind, None])
+        matrix, x = _matrix(), make_rhs(_matrix())
+        poisoned = self._run(device, matrix, x)
+        assert check(poisoned.u).any()
+        clean = self._run(device, matrix, x)
+        assert_matches_reference(clean.u, matrix, x, label="post-poison")
+
+    def test_latency_spike_inflates_time_not_values(self):
+        device, _ = self._device([None, FaultKind.LATENCY_SPIKE],
+                                 latency_factor=25.0)
+        matrix, x = _matrix(), make_rhs(_matrix())
+        clean = self._run(device, matrix, x)
+        spiked = self._run(device, matrix, x)
+        np.testing.assert_array_equal(spiked.u, clean.u)
+        assert spiked.seconds == pytest.approx(clean.seconds * 25.0)
+
+    def test_injection_counter_reaches_registry(self):
+        registry = MetricsRegistry()
+        device, _ = self._device(
+            [FaultKind.NAN_POISON, FaultKind.NAN_POISON], registry=registry
+        )
+        matrix, x = _matrix(), make_rhs(_matrix())
+        for _ in range(2):
+            self._run(device, matrix, x)
+        text = to_prometheus_text(registry)
+        assert 'chaos_faults_injected_total{kind="nan_poison"} 2' in text
+
+    def test_unwrap_peels_nested_wrappers(self):
+        registry = MetricsRegistry()
+        inner = SimulatedDevice(registry=registry)
+        wrapped = ChaosDevice(
+            ChaosDevice(inner, FaultSchedule(rate=1.0)),
+            FaultSchedule(rate=1.0),
+        )
+        assert unwrap_device(wrapped) is inner
+        assert unwrap_device(inner) is inner
+
+    def test_invalid_parameters_raise(self):
+        inner = SimulatedDevice(registry=MetricsRegistry())
+        with pytest.raises(ValueError):
+            ChaosDevice(inner, FaultSchedule(), latency_factor=0.5)
+        with pytest.raises(ValueError):
+            ChaosDevice(inner, FaultSchedule(), poison_fraction=0.0)
+
+
+# ---------------------------------------------------------------------------
+# RetryPolicy
+# ---------------------------------------------------------------------------
+class TestRetryPolicy:
+    def test_backoff_sequence_is_exponential_and_capped(self):
+        policy = RetryPolicy(max_attempts=6, backoff_base=0.01,
+                             backoff_multiplier=2.0, backoff_max=0.05)
+        assert policy.delays() == (0.01, 0.02, 0.04, 0.05, 0.05)
+
+    def test_single_attempt_has_no_delays(self):
+        assert RetryPolicy(max_attempts=1).delays() == ()
+
+    def test_every_delay_bounded_by_max(self):
+        policy = RetryPolicy(max_attempts=10, backoff_base=0.001,
+                             backoff_multiplier=3.0, backoff_max=0.1)
+        assert all(0.0 < d <= 0.1 for d in policy.delays())
+        assert policy.backoff_seconds(1) == 0.001
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_attempts": 0},
+        {"backoff_base": -1.0},
+        {"backoff_multiplier": 0.5},
+        {"backoff_base": 0.5, "backoff_max": 0.1},
+        {"deadline": 0.0},
+    ])
+    def test_invalid_parameters_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_backoff_seconds_rejects_non_positive_attempt(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff_seconds(0)
+
+
+# ---------------------------------------------------------------------------
+# CircuitBreaker
+# ---------------------------------------------------------------------------
+class TestCircuitBreaker:
+    def test_trips_open_after_threshold_consecutive_failures(self):
+        clock = FakeClock()
+        b = CircuitBreaker(failure_threshold=3, recovery_seconds=10.0,
+                           clock=clock)
+        assert b.state is BreakerState.CLOSED
+        for _ in range(2):
+            b.record_failure()
+        assert b.state is BreakerState.CLOSED and b.allow()
+        b.record_failure()
+        assert b.state is BreakerState.OPEN
+        assert not b.allow()
+
+    def test_success_resets_the_failure_streak(self):
+        b = CircuitBreaker(failure_threshold=2, clock=FakeClock())
+        b.record_failure()
+        b.record_success()
+        b.record_failure()
+        assert b.state is BreakerState.CLOSED
+
+    def test_cooldown_admits_a_half_open_probe(self):
+        clock = FakeClock()
+        b = CircuitBreaker(failure_threshold=1, recovery_seconds=10.0,
+                           clock=clock)
+        b.record_failure()
+        assert not b.allow()
+        clock.advance(9.9)
+        assert not b.allow()
+        clock.advance(0.2)
+        assert b.allow()  # the probe
+        assert b.state is BreakerState.HALF_OPEN
+
+    def test_probe_success_closes(self):
+        clock = FakeClock()
+        b = CircuitBreaker(failure_threshold=1, recovery_seconds=1.0,
+                           clock=clock)
+        b.record_failure()
+        clock.advance(1.0)
+        assert b.allow()
+        b.record_success()
+        assert b.state is BreakerState.CLOSED
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self):
+        clock = FakeClock()
+        b = CircuitBreaker(failure_threshold=1, recovery_seconds=5.0,
+                           clock=clock)
+        b.record_failure()
+        clock.advance(5.0)
+        assert b.allow()
+        b.record_failure()
+        assert b.state is BreakerState.OPEN
+        assert not b.allow()          # cooldown restarted at t=5
+        clock.advance(4.9)
+        assert not b.allow()
+        clock.advance(0.2)
+        assert b.allow()
+
+    def test_multiple_probe_successes_required_when_configured(self):
+        clock = FakeClock()
+        b = CircuitBreaker(failure_threshold=1, recovery_seconds=1.0,
+                           half_open_successes=2, clock=clock)
+        b.record_failure()
+        clock.advance(1.0)
+        assert b.allow()
+        b.record_success()
+        assert b.state is BreakerState.HALF_OPEN
+        b.record_success()
+        assert b.state is BreakerState.CLOSED
+
+    def test_half_open_keeps_admitting_probes(self):
+        clock = FakeClock()
+        b = CircuitBreaker(failure_threshold=1, recovery_seconds=1.0,
+                           half_open_successes=2, clock=clock)
+        b.record_failure()
+        clock.advance(1.0)
+        assert b.allow()            # OPEN -> HALF_OPEN transition
+        assert b.allow()            # still HALF_OPEN: probes keep flowing
+        assert b.state is BreakerState.HALF_OPEN
+
+    @pytest.mark.parametrize("kwargs", [
+        {"failure_threshold": 0},
+        {"recovery_seconds": -1.0},
+        {"half_open_successes": 0},
+    ])
+    def test_invalid_parameters_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            CircuitBreaker(**kwargs)
+
+    def test_transition_hook_sees_every_change(self):
+        clock = FakeClock()
+        seen = []
+        b = CircuitBreaker(
+            failure_threshold=1, recovery_seconds=1.0, clock=clock,
+            on_transition=lambda _b, old, new: seen.append((old, new)),
+        )
+        b.record_failure()
+        clock.advance(1.0)
+        b.allow()
+        b.record_success()
+        assert seen == [
+            (BreakerState.CLOSED, BreakerState.OPEN),
+            (BreakerState.OPEN, BreakerState.HALF_OPEN),
+            (BreakerState.HALF_OPEN, BreakerState.CLOSED),
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Resilient serving: retries, degradation, shedding
+# ---------------------------------------------------------------------------
+class TestResilientServing:
+    def test_transient_fault_is_retried_to_success(self):
+        server, device, sleeper = build_chaos_server(
+            script=[FaultKind.TRANSIENT, None]
+        )
+        matrix = _matrix()
+        x = make_rhs(matrix)
+        res = server.submit(matrix, x)
+        assert res.attempts == 2 and not res.degraded
+        assert_matches_reference(res.y, matrix, x, label="retried")
+        # Exactly one backoff, exactly the policy's first delay.
+        policy = server.resilience.retry
+        assert sleeper.calls == [policy.backoff_seconds(1)]
+        stats = server.stats().resilience
+        assert stats.retries == 1 and stats.failures == 1
+        assert stats.fallback_total == 0
+
+    def test_poisoned_output_is_detected_and_retried(self):
+        server, _, _ = build_chaos_server(
+            script=[FaultKind.NAN_POISON, None]
+        )
+        matrix = _matrix()
+        x = make_rhs(matrix)
+        res = server.submit(matrix, x)
+        assert res.attempts == 2 and not res.degraded
+        assert np.isfinite(res.y).all()
+        assert_matches_reference(res.y, matrix, x, label="post-poison")
+
+    def test_exhausted_retries_degrade_to_serial_fallback(self):
+        server, _, sleeper = build_chaos_server(
+            script=[FaultKind.DEVICE] * 3,   # every attempt fails
+            breaker_failure_threshold=100,   # keep the breaker out of it
+        )
+        matrix = _matrix()
+        x = make_rhs(matrix)
+        res = server.submit(matrix, x)
+        assert res.degraded and res.attempts == 3
+        assert res.plan.source == "fallback"
+        assert set(res.plan.bin_kernels.values()) == {"serial"}
+        assert_matches_reference(res.y, matrix, x, label="degraded")
+        # Full backoff sequence was honoured between the 3 attempts.
+        policy = server.resilience.retry
+        assert sleeper.calls == list(policy.delays())
+        stats = server.stats()
+        assert stats.resilience.fallbacks == {"retries_exhausted": 1}
+        # The failing cached plan was dropped: the pattern re-plans next.
+        assert stats.cache.invalidations == 1
+        server.submit(matrix, x)
+        assert server.stats().cache.misses == 2
+
+    def test_batch_requests_travel_the_same_loop(self):
+        server, _, _ = build_chaos_server(
+            script=[FaultKind.INF_POISON, None]
+        )
+        matrix = _matrix()
+        X = np.random.default_rng(5).random((matrix.ncols, 3)) + 0.5
+        res = server.submit_batch(matrix, X)
+        assert res.attempts == 2 and not res.degraded
+        assert_matches_reference(res.y, matrix, X, label="batch-retry")
+
+    def test_latency_spike_is_not_a_failure(self):
+        server, _, sleeper = build_chaos_server(
+            script=[FaultKind.LATENCY_SPIKE]
+        )
+        matrix = _matrix()
+        x = make_rhs(matrix)
+        res = server.submit(matrix, x)
+        assert res.attempts == 1 and not res.degraded
+        assert sleeper.calls == []
+        assert_matches_reference(res.y, matrix, x, label="spike")
+
+    def test_open_breaker_short_circuits_to_fallback(self):
+        server, _, _ = build_chaos_server(
+            script=[FaultKind.DEVICE] * 3,
+            breaker_failure_threshold=1,
+            breaker_recovery_seconds=1e9,
+        )
+        matrix = _matrix()
+        x = make_rhs(matrix)
+        first = server.submit(matrix, x)     # exhausts retries, trips breaker
+        assert first.degraded and first.attempts == 3
+        second = server.submit(matrix, x)    # refused outright
+        assert second.degraded and second.attempts == 0
+        assert_matches_reference(second.y, matrix, x, label="breaker")
+        stats = server.stats().resilience
+        assert stats.fallbacks == {"retries_exhausted": 1, "breaker_open": 1}
+        assert stats.breaker_opens == 1 and stats.breakers_open_now == 1
+
+    def test_breaker_recovers_after_cooldown(self):
+        clock = FakeClock()
+        server, _, _ = build_chaos_server(
+            script=[FaultKind.DEVICE] * 3,   # only the first request faults
+            breaker_failure_threshold=1,
+            breaker_recovery_seconds=10.0,
+            clock=clock,
+        )
+        matrix = _matrix()
+        x = make_rhs(matrix)
+        server.submit(matrix, x)             # trips the breaker
+        clock.advance(10.0)
+        probe = server.submit(matrix, x)     # half-open probe, fault-free now
+        assert not probe.degraded and probe.attempts == 1
+        assert server.stats().resilience.breakers_open_now == 0
+
+    def test_fallback_disabled_sheds_with_plan_execution_error(self):
+        server, _, _ = build_chaos_server(
+            script=[FaultKind.KERNEL] * 3,
+            fallback_enabled=False,
+            breaker_failure_threshold=100,
+        )
+        matrix = _matrix()
+        with pytest.raises(PlanExecutionError):
+            server.submit(matrix, make_rhs(matrix))
+        assert server.stats().resilience.shed == 1
+
+    def test_deadline_overrun_sheds_with_deadline_error(self):
+        server, _, _ = build_chaos_server(
+            script=[FaultKind.TRANSIENT] * 5,
+            retry=RetryPolicy(max_attempts=5, backoff_base=1.0,
+                              backoff_max=1.0, deadline=0.5),
+            fallback_enabled=False,
+            breaker_failure_threshold=100,
+        )
+        matrix = _matrix()
+        with pytest.raises(DeadlineExceededError):
+            server.submit(matrix, make_rhs(matrix))
+
+    def test_deadline_overrun_degrades_when_fallback_enabled(self):
+        server, _, _ = build_chaos_server(
+            script=[FaultKind.TRANSIENT] * 5,
+            retry=RetryPolicy(max_attempts=5, backoff_base=1.0,
+                              backoff_max=1.0, deadline=0.5),
+            breaker_failure_threshold=100,
+        )
+        matrix = _matrix()
+        x = make_rhs(matrix)
+        res = server.submit(matrix, x)
+        assert res.degraded and res.attempts == 1
+        assert_matches_reference(res.y, matrix, x, label="deadline")
+        assert server.stats().resilience.fallbacks == {"deadline": 1}
+
+    def test_resilience_outcomes_reach_prometheus_export(self):
+        registry = MetricsRegistry()
+        server, _, _ = build_chaos_server(
+            script=[FaultKind.DEVICE] * 3,
+            breaker_failure_threshold=1,
+            breaker_recovery_seconds=1e9,
+            registry=registry,
+        )
+        matrix = _matrix()
+        x = make_rhs(matrix)
+        server.submit(matrix, x)
+        server.submit(matrix, x)
+        text = to_prometheus_text(registry)
+        assert 'chaos_faults_injected_total{kind="device"} 3' in text
+        assert "resilient_retries_total 2" in text
+        assert "resilient_failures_total 3" in text
+        assert 'resilient_fallbacks_total{cause="retries_exhausted"} 1' in text
+        assert 'resilient_fallbacks_total{cause="breaker_open"} 1' in text
+        assert 'resilient_breaker_transitions_total{to="open"} 1' in text
+        assert "resilient_breakers_open 1" in text
+        assert "plan_cache_invalidations_total 2" in text
+
+    def test_breaker_map_is_lru_bounded(self):
+        from repro.resilient import ResilientExecutor
+
+        policy = ResiliencePolicy(max_breakers=2)
+        ex = ResilientExecutor(policy, registry=MetricsRegistry())
+        a = ex.breaker_for("a")
+        ex.breaker_for("b")
+        ex.breaker_for("a")          # refresh "a"
+        ex.breaker_for("c")          # evicts "b", the least recently used
+        assert ex.breaker_for("a") is a
+        assert ex.breaker_for("b") is not None  # recreated fresh
+        with pytest.raises(ValueError):
+            ResiliencePolicy(max_breakers=0)
+
+    def test_stats_describe_includes_resilience_block(self):
+        server, _, _ = build_chaos_server(script=[])
+        matrix = _matrix()
+        server.submit(matrix, make_rhs(matrix))
+        text = server.stats().describe()
+        assert "resilience:" in text and "fallbacks" in text
+
+
+# ---------------------------------------------------------------------------
+# Input validation fires before the plan cache is touched
+# ---------------------------------------------------------------------------
+class TestValidationBeforeCache:
+    @pytest.fixture()
+    def server(self):
+        return SpMVServer(registry=MetricsRegistry())
+
+    def test_wrong_length_vector_never_reaches_the_cache(self, server):
+        matrix = _matrix()
+        with pytest.raises(ShapeError):
+            server.submit(matrix, np.ones(matrix.ncols + 1))
+        stats = server.stats()
+        assert stats.cache.lookups == 0 and stats.cache.size == 0
+        assert stats.requests == 0
+
+    def test_non_numeric_dtype_raises_shape_error(self, server):
+        matrix = _matrix()
+        bad = np.array(["a"] * matrix.ncols)
+        with pytest.raises(ShapeError):
+            server.submit(matrix, bad)
+        assert server.stats().cache.size == 0
+
+    def test_batch_operand_must_be_2d(self, server):
+        matrix = _matrix()
+        with pytest.raises(ShapeError):
+            server.submit_batch(matrix, np.ones(matrix.ncols))
+        with pytest.raises(ShapeError):
+            server.submit_batch(matrix, np.ones((matrix.ncols + 2, 3)))
+        assert server.stats().cache.size == 0
+
+    def test_resilient_server_validates_identically(self):
+        server, _, _ = build_chaos_server(script=[])
+        matrix = _matrix()
+        with pytest.raises(ShapeError):
+            server.submit(matrix, np.ones(matrix.ncols - 1))
+        assert server.stats().cache.size == 0
+
+    def test_integer_and_bool_vectors_still_accepted(self, server):
+        matrix = _matrix()
+        res = server.submit(matrix, np.ones(matrix.ncols, dtype=np.int32))
+        assert res.y.dtype == np.float64
+        res = server.submit(matrix, np.ones(matrix.ncols, dtype=bool))
+        assert np.isfinite(res.y).all()
+
+
+# ---------------------------------------------------------------------------
+# Acceptance: the 500-request seeded chaos run
+# ---------------------------------------------------------------------------
+class TestChaosAcceptanceRun:
+    def test_500_requests_at_10_percent_faults_zero_wrong_results(self):
+        registry = MetricsRegistry()
+        server, device, _ = build_chaos_server(
+            rate=0.1, seed=chaos_seed(), registry=registry,
+            breaker_failure_threshold=3, breaker_recovery_seconds=0.05,
+        )
+        n, served = 500, 0
+        for label, matrix, rhs in chaos_workload(n, seed=chaos_seed()):
+            if rhs.ndim == 2:
+                res = server.submit_batch(matrix, rhs)
+            else:
+                res = server.submit(matrix, rhs)
+            # THE invariant: no injected fault may corrupt a result.
+            assert np.isfinite(res.y).all(), f"non-finite result for {label}"
+            assert_matches_reference(res.y, matrix, rhs, label=label)
+            served += 1
+        assert served == n
+
+        stats = server.stats()
+        assert stats.requests == n
+        assert stats.resilience.shed == 0          # fallback covered everything
+        assert stats.resilience.attempts >= n - stats.resilience.fallbacks.get(
+            "breaker_open", 0
+        )
+        # The schedule really did inject at a meaningful rate.
+        assert sum(device.injected_counts().values()) > 0
+        assert device.schedule.drawn >= n
+
+        # Every outcome is auditable from the Prometheus export.
+        text = to_prometheus_text(registry)
+        for name in (
+            "chaos_faults_injected_total",
+            "resilient_failures_total",
+            "serve_requests_total",
+        ):
+            assert name in text, f"{name} missing from export"
+        if stats.resilience.fallback_total:
+            assert "resilient_fallbacks_total" in text
+
+    def test_chaos_run_is_reproducible_per_seed(self):
+        outcomes = []
+        for _ in range(2):
+            server, device, _ = build_chaos_server(rate=0.3, seed=123)
+            for _, matrix, rhs in chaos_workload(60, seed=123,
+                                                 batch_every=0):
+                server.submit(matrix, rhs)
+            stats = server.stats().resilience
+            outcomes.append((
+                device.injected_counts(), stats.attempts,
+                stats.retries, stats.failures, dict(stats.fallbacks),
+            ))
+        assert outcomes[0] == outcomes[1]
