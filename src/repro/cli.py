@@ -65,6 +65,9 @@ from repro.resilient import (
     RetryPolicy,
 )
 from repro.serve import SpMVServer
+from repro.shard import PartitionStrategy
+from repro.shard.executor import ShardingPolicy
+from repro.shard.scheduler import CoalescePolicy
 
 __all__ = ["main", "build_parser", "load_matrix"]
 
@@ -184,11 +187,28 @@ def _drive_demo_traffic(server: SpMVServer, args: argparse.Namespace) -> bool:
           f"{args.requests} single + {args.batches} batched (k={args.batch}) "
           f"requests\n")
     ok = True
-    for i in range(args.requests):
-        m = matrices[i % len(matrices)]
-        x = rng.standard_normal(m.ncols)
-        res = server.submit(m, x)
-        ok &= bool(np.allclose(res.y, m @ x, atol=1e-8))
+    singles = [
+        (matrices[i % len(matrices)],
+         rng.standard_normal(matrices[i % len(matrices)].ncols))
+        for i in range(args.requests)
+    ]
+    if getattr(args, "coalesce", False):
+        # Coalescing only wins on *concurrent* traffic: submit from a
+        # thread pool so same-matrix requests land inside one window.
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=min(16, len(singles) or 1)) \
+                as pool:
+            results = list(pool.map(
+                lambda mx: (mx[0], mx[1], server.submit(mx[0], mx[1])),
+                singles,
+            ))
+        for m, x, res in results:
+            ok &= bool(np.allclose(res.y, m @ x, atol=1e-8))
+    else:
+        for m, x in singles:
+            res = server.submit(m, x)
+            ok &= bool(np.allclose(res.y, m @ x, atol=1e-8))
     for i in range(args.batches):
         m = matrices[i % len(matrices)]
         X = rng.standard_normal((m.ncols, args.batch))
@@ -219,11 +239,27 @@ def _build_demo_server(args: argparse.Namespace) -> SpMVServer:
         print(f"serving with tuner {args.model}")
     else:
         print("serving with the heuristic planner (no --model given)")
+    sharding = None
+    n_shards = getattr(args, "shards", 0)
+    if n_shards:
+        strategy = PartitionStrategy(getattr(args, "shard_strategy", "nnz"))
+        sharding = ShardingPolicy(n_shards=n_shards, strategy=strategy)
+        print(f"sharding: {n_shards} shards, {strategy.value}-balanced")
+    scheduler = None
+    if getattr(args, "coalesce", False):
+        scheduler = CoalescePolicy(
+            max_batch=getattr(args, "coalesce_width", 8),
+            max_wait_seconds=getattr(args, "coalesce_window", 0.005),
+        )
+        print(f"coalescing: width <= {scheduler.max_batch}, "
+              f"window {scheduler.max_wait_seconds * 1e3:.1f} ms")
     return SpMVServer(
         tuner,
         device=device,
         cache_capacity=args.cache_capacity,
         resilience=resilience,
+        sharding=sharding,
+        scheduler=scheduler,
     )
 
 
@@ -236,6 +272,7 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
     try:
         server = _build_demo_server(args)
         ok = _drive_demo_traffic(server, args)
+        server.close()  # drain the scheduler so the stats are final
     finally:
         if registry is not None:
             set_registry(previous)
@@ -369,6 +406,22 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default 0.1)")
     p_serve.add_argument("--chaos-seed", type=int, default=None,
                          help="fault-schedule seed (defaults to --seed)")
+    p_serve.add_argument("--shards", type=int, default=0,
+                         help="shard each matrix across this many "
+                              "concurrent devices (0 = unsharded)")
+    p_serve.add_argument("--shard-strategy", choices=("rows", "nnz"),
+                         default="nnz",
+                         help="row-shard balancing: equal rows or "
+                              "equal non-zeros (default nnz)")
+    p_serve.add_argument("--coalesce", action="store_true",
+                         help="coalesce concurrent same-matrix submits "
+                              "into one multi-RHS dispatch")
+    p_serve.add_argument("--coalesce-width", type=int, default=8,
+                         help="max requests per coalesced dispatch "
+                              "(default 8)")
+    p_serve.add_argument("--coalesce-window", type=float, default=0.005,
+                         help="seconds a request waits for siblings "
+                              "before dispatching anyway (default 0.005)")
     p_serve.set_defaults(func=_cmd_serve_demo)
 
     p_metrics = sub.add_parser(

@@ -17,7 +17,6 @@ Wall-clock timing of these paths backs ``benchmarks/bench_cpu_parallel.py``.
 
 from __future__ import annotations
 
-import enum
 from concurrent.futures import ThreadPoolExecutor
 from time import perf_counter
 from typing import Callable, Optional
@@ -27,39 +26,15 @@ import numpy as np
 from repro.errors import DeviceError
 from repro.formats.csr import CSRMatrix
 from repro.observe.registry import MetricsRegistry, get_registry
+from repro.shard.partition import PartitionStrategy, row_partition
 from repro.utils.primitives import segmented_sum
 from repro.utils.validation import check_spmm_operand, check_spmv_operand
 
+# PartitionStrategy / row_partition moved to repro.shard.partition (the
+# sharding layer generalises them past this module); re-exported here so
+# existing ``from repro.device.cpu import row_partition`` callers keep
+# working.
 __all__ = ["PartitionStrategy", "CPUExecutor", "row_partition"]
-
-
-class PartitionStrategy(enum.Enum):
-    """How the row space is split across worker threads."""
-
-    ROWS = "rows"
-    NNZ = "nnz"
-
-
-def row_partition(
-    matrix: CSRMatrix, n_chunks: int, strategy: PartitionStrategy
-) -> np.ndarray:
-    """Chunk boundaries (length ``n_chunks + 1``) over the row index space.
-
-    ``ROWS`` splits rows evenly; ``NNZ`` places boundaries so every chunk
-    holds approximately ``nnz / n_chunks`` non-zeros (binary search on
-    the row-pointer array -- the classic merge-path-lite balancing).
-    """
-    if n_chunks <= 0:
-        raise ValueError(f"n_chunks must be > 0, got {n_chunks}")
-    m = matrix.nrows
-    if strategy is PartitionStrategy.ROWS:
-        return np.linspace(0, m, n_chunks + 1).astype(np.int64)
-    if strategy is PartitionStrategy.NNZ:
-        targets = np.linspace(0, matrix.nnz, n_chunks + 1)
-        bounds = np.searchsorted(matrix.rowptr, targets, side="left").astype(np.int64)
-        bounds[0], bounds[-1] = 0, m
-        return np.maximum.accumulate(np.clip(bounds, 0, m))
-    raise ValueError(f"unknown strategy {strategy!r}")  # pragma: no cover
 
 
 class CPUExecutor:

@@ -21,6 +21,7 @@ __all__ = [
     "MatrixMarketError",
     "PlanExecutionError",
     "DeadlineExceededError",
+    "QueueFullError",
 ]
 
 
@@ -91,3 +92,14 @@ class PlanExecutionError(ReproError):
 
 class DeadlineExceededError(ReproError):
     """A request's retry/deadline budget ran out before it could succeed."""
+
+
+class QueueFullError(ReproError):
+    """The request scheduler's admission queue is at capacity.
+
+    Backpressure signal raised by
+    :class:`~repro.shard.scheduler.RequestScheduler` when accepting one
+    more request would exceed its bounded pending-queue size.  Callers
+    should shed load or retry later; blocking unboundedly would just
+    move the queue into the clients.
+    """

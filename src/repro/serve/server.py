@@ -32,19 +32,32 @@ degradation that invalidates the failing cached plan and serves the
 request from the always-correct serial reference path (bypassing any
 chaos wrapper on the device).  Without a policy the hot path is the
 plain one: no extra objects, no extra branches beyond one ``is None``.
+
+Scaling past one device: ``sharding=ShardingPolicy(...)`` routes
+execution through a :class:`~repro.shard.executor.ShardedExecutor`
+(K row-shards planned independently, executed concurrently on a device
+pool), and ``scheduler=CoalescePolicy(...)`` puts a
+:class:`~repro.shard.scheduler.RequestScheduler` in front of ``submit``
+so concurrent same-matrix requests coalesce into one multi-RHS
+dispatch.  Both default to ``None`` and the single-device hot path is
+byte-for-byte the same when unset.  The server is a context manager;
+``close()`` drains the scheduler and shuts worker pools down
+deterministically, after which ``submit`` raises
+:class:`~repro.errors.DeviceError` (mirroring ``CPUExecutor``).
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 import numpy as np
 
 from repro.binning.single import SingleBinning
 from repro.core.plan import ExecutionPlan
 from repro.device.executor import SimulatedDevice, SpMMResult, SpMVResult
+from repro.errors import DeviceError
 from repro.formats.csr import CSRMatrix
 from repro.observe.registry import MetricsRegistry, get_registry
 from repro.observe.spans import span
@@ -58,6 +71,14 @@ from repro.serve.batch import run_plan_spmm, run_plan_spmv
 from repro.serve.fingerprint import MatrixFingerprint, fingerprint_matrix
 from repro.serve.plan_cache import CacheStats, PlanCache
 from repro.utils.validation import check_spmm_operand, check_spmv_operand
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle: shard imports serve
+    from repro.shard.executor import (
+        ShardExecutorStats,
+        ShardingPolicy,
+        ShardSummary,
+    )
+    from repro.shard.scheduler import CoalescePolicy, SchedulerStats
 
 __all__ = ["SpMVServer", "ServerStats", "SubmitResult", "heuristic_planner"]
 
@@ -102,17 +123,25 @@ class SubmitResult:
     seconds: float
     #: Kernel launches in the dispatch sequence(s) this call issued.
     n_dispatches: int
-    #: True when the plan came from the cache (planning skipped).
+    #: True when the plan came from the cache (planning skipped); for a
+    #: sharded execution, True when *every* shard's plan was cached.
     cache_hit: bool
     fingerprint: MatrixFingerprint
-    plan: ExecutionPlan
+    #: The executed plan; ``None`` for sharded executions (each shard
+    #: has its own plan -- see ``shards`` for the breakdown).
+    plan: Optional[ExecutionPlan]
     #: Tuned-plan attempts this request took (0 when an open breaker
     #: short-circuited straight to the fallback; always 1 without a
-    #: resilience policy).
+    #: resilience policy; summed across shards when sharded).
     attempts: int = 1
     #: True when the fallback (serial reference) path produced ``y``
-    #: after the tuned plan kept failing.
+    #: after the tuned plan kept failing (any shard, when sharded).
     degraded: bool = False
+    #: How many requests shared this request's dispatch (1 = no
+    #: coalescing; >1 means the scheduler batched it with siblings).
+    coalesced_width: int = 1
+    #: Per-shard breakdown when the server runs sharded, else ``None``.
+    shards: Optional[ShardSummary] = None
 
 
 @dataclass(frozen=True)
@@ -136,6 +165,10 @@ class ServerStats:
     cache: CacheStats
     #: Resilience accounting; ``None`` when no policy is configured.
     resilience: Optional[ResilienceStats] = None
+    #: Coalescing accounting; ``None`` without a ``scheduler=`` policy.
+    scheduler: Optional[SchedulerStats] = None
+    #: Sharding accounting; ``None`` without a ``sharding=`` policy.
+    shards: Optional[ShardExecutorStats] = None
 
     @property
     def hit_rate(self) -> float:
@@ -164,6 +197,16 @@ class ServerStats:
             lines.append("resilience:")
             lines.extend(
                 "  " + line for line in self.resilience.describe().splitlines()
+            )
+        if self.scheduler is not None:
+            lines.append("coalescing:")
+            lines.extend(
+                "  " + line for line in self.scheduler.describe().splitlines()
+            )
+        if self.shards is not None:
+            lines.append("sharding:")
+            lines.extend(
+                "  " + line for line in self.shards.describe().splitlines()
             )
         return "\n".join(lines)
 
@@ -201,7 +244,25 @@ class SpMVServer:
         per-plan circuit breaker, output-validated against NaN/Inf
         poisoning, and degraded to the serial reference path (with the
         cached plan invalidated) when they keep failing.  ``None``
-        (default) keeps the hot path exactly as before.
+        (default) keeps the hot path exactly as before.  With
+        ``sharding`` the policy applies *per shard* (inside the
+        sharded executor) instead of per request.
+    sharding:
+        Optional :class:`~repro.shard.executor.ShardingPolicy`.  When
+        set, requests execute through a
+        :class:`~repro.shard.executor.ShardedExecutor`: K row-shards
+        planned independently and run concurrently on a pool of devices
+        cloned from ``device``'s spec.  ``None`` (default) keeps the
+        single-device path untouched.
+    scheduler:
+        Optional :class:`~repro.shard.scheduler.CoalescePolicy`.  When
+        set, ``submit`` routes through a
+        :class:`~repro.shard.scheduler.RequestScheduler` that coalesces
+        concurrent same-matrix requests into one multi-RHS dispatch
+        (``submit_batch`` callers are already batched and bypass it).
+        Stats note: a coalesced group accounts as *one* batch request
+        in :class:`ServerStats` -- per-request counts live in
+        ``stats().scheduler``.
     """
 
     def __init__(
@@ -214,6 +275,8 @@ class SpMVServer:
         max_rhs: Optional[int] = None,
         registry: Optional[MetricsRegistry] = None,
         resilience: Optional[ResiliencePolicy] = None,
+        sharding: Optional[ShardingPolicy] = None,
+        scheduler: Optional[CoalescePolicy] = None,
     ):
         if planner is not None:
             self._planner: Planner = planner
@@ -231,11 +294,41 @@ class SpMVServer:
         self.cache = PlanCache(capacity=cache_capacity,
                                registry=self.registry)
         self.resilience = resilience
+        # With sharding, resilience applies per shard inside the sharded
+        # executor; wrapping here too would retry every request twice.
         self._resilient = (
             ResilientExecutor(resilience, registry=self.registry)
-            if resilience is not None else None
+            if resilience is not None and sharding is None else None
         )
         self.max_rhs = max_rhs
+        self._closed = False
+        # Imported lazily: repro.shard.executor/scheduler import the
+        # serve layer, so importing them at module scope would close an
+        # import cycle (and tax every import that never shards).
+        self._sharded = None
+        if sharding is not None:
+            from repro.shard.executor import ShardedExecutor
+
+            base_spec = unwrap_device(self.device).spec
+            self._sharded = ShardedExecutor(
+                sharding,
+                planner=self._planner,
+                device_factory=lambda: SimulatedDevice(
+                    spec=base_spec, registry=self.registry
+                ),
+                resilience=resilience,
+                registry=self.registry,
+            )
+        self._scheduler = None
+        if scheduler is not None:
+            from repro.shard.scheduler import RequestScheduler
+
+            # Bound to the *direct* batch path: close() drains pending
+            # groups through it after the public API has shut.
+            self._scheduler = RequestScheduler(
+                self._direct_submit_batch, scheduler,
+                registry=self.registry,
+            )
         self._lock = threading.RLock()
         self._requests = 0
         self._batch_requests = 0
@@ -273,6 +366,44 @@ class SpMVServer:
             )
             for stage in ("fingerprint", "plan", "execute")
         }
+
+    # -- lifecycle -------------------------------------------------------
+    def __enter__(self) -> "SpMVServer":
+        if self._closed:
+            raise DeviceError("SpMVServer is closed; create a new instance")
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut the server down deterministically (idempotent).
+
+        Order matters: the coalescing scheduler drains first (pending
+        groups flush through the direct batch path and their waiters
+        get results), then the sharded executor's worker pool joins.
+        A closed server raises :class:`~repro.errors.DeviceError` on
+        further ``submit``/``submit_batch`` calls -- use-after-close is
+        a caller bug, mirroring :class:`~repro.device.cpu.CPUExecutor`.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._scheduler is not None:
+            self._scheduler.close()
+        if self._sharded is not None:
+            self._sharded.close()
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` (or ``__exit__``) has run."""
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise DeviceError(
+                "SpMVServer used after close(); create a new instance"
+            )
 
     # -- planning --------------------------------------------------------
     def _plan_for(
@@ -332,10 +463,71 @@ class SpMVServer:
             was_cached=invalidated,
         )
 
+    # -- sharded / coalesced routing -------------------------------------
+    def _sharded_submit(
+        self, matrix: CSRMatrix, rhs: np.ndarray, *, batch: bool
+    ) -> SubmitResult:
+        """Serve one request through the sharded executor."""
+        with span("serve.fingerprint", self.registry) as sp_fp:
+            fp = fingerprint_matrix(matrix)
+        with self._lock:
+            self._stage_seconds["fingerprint"] += sp_fp.seconds
+        self._m_stage["fingerprint"].observe(sp_fp.seconds)
+        with span("serve.execute", self.registry) as sp:
+            if batch:
+                res = self._sharded.run_spmm(matrix, rhs,
+                                             max_rhs=self.max_rhs)
+            else:
+                res = self._sharded.run_spmv(matrix, rhs)
+        self._account(sp.seconds, res.seconds, res.n_dispatches,
+                      n_rhs=res.n_rhs, batch=batch)
+        return SubmitResult(
+            y=res.y,
+            seconds=res.seconds,
+            n_dispatches=res.n_dispatches,
+            cache_hit=res.cache_hit,
+            fingerprint=fp,
+            plan=None,
+            attempts=res.attempts,
+            degraded=bool(res.summary.degraded_shards),
+            shards=res.summary,
+        )
+
+    def _coalesced_submit(
+        self, matrix: CSRMatrix, x: np.ndarray
+    ) -> SubmitResult:
+        """Serve one SpMV through the coalescing scheduler.
+
+        The scheduler groups concurrent same-matrix submissions and
+        dispatches each group once via the direct batch path; this
+        request's column of the group result is bit-identical to what a
+        lone ``submit`` would have produced (batched kernels compute
+        every column independently).
+        """
+        scheduled = self._scheduler.submit(matrix, x)
+        group: SubmitResult = scheduled.batch
+        return SubmitResult(
+            y=group.y[:, scheduled.column],
+            seconds=group.seconds,
+            n_dispatches=group.n_dispatches,
+            cache_hit=group.cache_hit,
+            fingerprint=group.fingerprint,
+            plan=group.plan,
+            attempts=group.attempts,
+            degraded=group.degraded,
+            coalesced_width=scheduled.width,
+            shards=group.shards,
+        )
+
     # -- serving ---------------------------------------------------------
     def submit(self, matrix: CSRMatrix, x: np.ndarray) -> SubmitResult:
         """Serve one SpMV request: fingerprint, plan-or-hit, execute."""
+        self._check_open()
+        if self._scheduler is not None:
+            return self._coalesced_submit(matrix, x)
         x = self._validate_rhs(matrix, x, batch=False)
+        if self._sharded is not None:
+            return self._sharded_submit(matrix, x, batch=False)
         plan, fp, hit = self._plan_for(matrix)
         if self._resilient is None:
             with span("serve.execute", self.registry) as sp:
@@ -390,7 +582,21 @@ class SpMVServer:
         each block is physically a separate dispatch sequence (see
         :func:`~repro.serve.batch.run_plan_spmm`).
         """
+        self._check_open()
+        return self._direct_submit_batch(matrix, X)
+
+    def _direct_submit_batch(
+        self, matrix: CSRMatrix, X: np.ndarray
+    ) -> SubmitResult:
+        """Batch path without the closed-check.
+
+        The coalescing scheduler flushes its pending groups through
+        this during :meth:`close` -- after ``_closed`` is already set,
+        which is exactly why the public wrapper owns the check.
+        """
         X = self._validate_rhs(matrix, X, batch=True)
+        if self._sharded is not None:
+            return self._sharded_submit(matrix, X, batch=True)
         plan, fp, hit = self._plan_for(matrix)
         if self._resilient is None:
             with span("serve.execute", self.registry) as sp:
@@ -486,6 +692,17 @@ class SpMVServer:
                 cache=self.cache.stats(),
                 resilience=(
                     self._resilient.stats()
-                    if self._resilient is not None else None
+                    if self._resilient is not None else
+                    self._sharded.resilience_stats()
+                    if self._sharded is not None
+                    and self._sharded.resilience is not None else None
+                ),
+                scheduler=(
+                    self._scheduler.stats()
+                    if self._scheduler is not None else None
+                ),
+                shards=(
+                    self._sharded.stats()
+                    if self._sharded is not None else None
                 ),
             )

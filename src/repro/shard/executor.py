@@ -1,0 +1,528 @@
+"""Sharded execution: per-shard plans on a pool of concurrent devices.
+
+One level above the paper's binning: the :class:`ShardedExecutor`
+partitions a matrix into row-shards (:mod:`repro.shard.partition`),
+plans *each shard independently* (a long-tail shard can pick
+``kernel-vector`` while the banded bulk gets ``kernel-subvector4``),
+executes the per-shard plans concurrently -- one simulated device per
+shard slot, driven by a thread pool -- and scatter-gathers the output
+vector by row range.
+
+Accounting follows the parallel-hardware model: the executor's
+``seconds`` is the *makespan* (the slowest shard's simulated seconds),
+because the shards run on independent devices; the per-shard times and
+their imbalance ratio (max/mean, the metric the paper's load-balancing
+story is about) are surfaced alongside.  The host-side gather is real
+wall time and is recorded as a metric, not added to simulated time.
+
+Resilience is per shard: with a
+:class:`~repro.resilient.ResiliencePolicy`, a failing shard retries,
+trips its own breaker and degrades to the serial reference path on the
+unwrapped device -- without poisoning its sibling shards, which complete
+normally.
+
+Observability: ``shard.partition`` / ``shard.plan`` / ``shard.execute``
+/ ``shard.gather`` spans plus ``shard_*`` metrics (shard count,
+imbalance-ratio histogram, gather-time histogram, degraded-shard
+counter) land in the metrics registry.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.binning.single import SingleBinning
+from repro.core.plan import ExecutionPlan
+from repro.device.executor import SimulatedDevice, SpMMResult, SpMVResult
+from repro.errors import DeviceError
+from repro.formats.csr import CSRMatrix
+from repro.observe.registry import MetricsRegistry, get_registry
+from repro.observe.spans import span
+from repro.resilient.executor import ResiliencePolicy, ResilientExecutor
+from repro.resilient.faults import unwrap_device
+from repro.serve.batch import run_plan_spmm, run_plan_spmv
+from repro.serve.fingerprint import fingerprint_matrix
+from repro.serve.plan_cache import CacheStats, PlanCache
+from repro.shard.partition import PartitionStrategy, Shard, make_shards
+from repro.utils.validation import check_spmm_operand, check_spmv_operand
+
+__all__ = [
+    "ShardingPolicy",
+    "ShardSummary",
+    "ShardedResult",
+    "ShardExecutorStats",
+    "ShardedExecutor",
+]
+
+#: Signature of anything that can produce a plan for one shard matrix.
+Planner = Callable[[CSRMatrix], ExecutionPlan]
+
+#: Imbalance-ratio histogram buckets (ratio = max/mean shard seconds;
+#: 1.0 is perfect balance, >2 means one shard dominates the makespan).
+_IMBALANCE_BUCKETS = (1.0, 1.1, 1.25, 1.5, 2.0, 3.0, 5.0, 10.0, 25.0)
+
+
+@dataclass(frozen=True)
+class ShardingPolicy:
+    """How a matrix is sharded across workers.
+
+    Parameters
+    ----------
+    n_shards:
+        Requested shard count ``K``; the effective count can be smaller
+        when the matrix has fewer rows (empty row ranges are dropped).
+    strategy:
+        ``ROWS`` for equal row counts, ``NNZ`` (default) for
+        equal-non-zero balancing -- the same trade-off as the CPU
+        executor's thread partitioning, one level up.
+    max_workers:
+        Thread-pool width executing shards; defaults to ``n_shards``.
+    plan_cache_capacity:
+        Bound on cached per-shard plans (keyed by shard fingerprint).
+    """
+
+    n_shards: int = 4
+    strategy: PartitionStrategy = PartitionStrategy.NNZ
+    max_workers: Optional[int] = None
+    plan_cache_capacity: int = 256
+
+    def __post_init__(self) -> None:
+        if self.n_shards <= 0:
+            raise ValueError(f"n_shards must be > 0, got {self.n_shards}")
+        if self.max_workers is not None and self.max_workers <= 0:
+            raise ValueError(
+                f"max_workers must be > 0, got {self.max_workers}"
+            )
+        if self.plan_cache_capacity <= 0:
+            raise ValueError(
+                f"plan_cache_capacity must be > 0, "
+                f"got {self.plan_cache_capacity}"
+            )
+
+
+@dataclass(frozen=True)
+class ShardSummary:
+    """Array-free view of one sharded execution (rides on SubmitResult)."""
+
+    #: Effective shard count (after dropping empty row ranges).
+    n_shards: int
+    #: Simulated seconds per shard, in shard order.
+    shard_seconds: Tuple[float, ...]
+    #: max/mean of ``shard_seconds`` (1.0 = perfectly balanced).
+    imbalance: float
+    #: Sum of ``shard_seconds`` (the serial-equivalent simulated cost).
+    total_shard_seconds: float
+    #: Shard ids served by the degraded serial path.
+    degraded_shards: Tuple[int, ...]
+    #: Host wall seconds spent scattering shard outputs into place.
+    gather_seconds: float
+
+
+@dataclass(frozen=True)
+class ShardedResult:
+    """Outcome of one sharded SpMV/SpMM execution."""
+
+    #: Result: shape ``(nrows,)`` for SpMV, ``(nrows, k)`` for SpMM.
+    y: np.ndarray
+    #: Simulated makespan: the slowest shard's seconds (shards run on
+    #: independent devices concurrently).
+    seconds: float
+    #: Kernel launches summed across all shards.
+    n_dispatches: int
+    #: True when every shard's plan came from the plan cache.
+    cache_hit: bool
+    #: Tuned-plan attempts summed across shards (equals the shard count
+    #: without resilience).
+    attempts: int
+    #: Right-hand sides served (1 for SpMV).
+    n_rhs: int
+    summary: ShardSummary
+
+    @property
+    def n_shards(self) -> int:
+        """Effective shard count of this execution."""
+        return self.summary.n_shards
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean shard simulated seconds (1.0 = perfect balance)."""
+        return self.summary.imbalance
+
+    @property
+    def degraded_shards(self) -> Tuple[int, ...]:
+        """Shard ids that fell back to the serial reference path."""
+        return self.summary.degraded_shards
+
+
+@dataclass(frozen=True)
+class ShardExecutorStats:
+    """Point-in-time snapshot of one executor's accounting."""
+
+    #: ``run_spmv`` + ``run_spmm`` calls served.
+    executions: int
+    #: Shards executed across all calls.
+    shards_executed: int
+    #: Shards served by the degraded serial path.
+    degraded_shards: int
+    #: Worst imbalance ratio seen so far (0.0 before the first run).
+    max_imbalance: float
+    #: Per-shard plan-cache counters.
+    cache: CacheStats
+
+    def describe(self) -> str:
+        """Readable one-per-line summary (CLI / logs)."""
+        return "\n".join([
+            f"executions         : {self.executions} "
+            f"({self.shards_executed} shards, "
+            f"{self.degraded_shards} degraded)",
+            f"worst imbalance    : {self.max_imbalance:.2f}x (max/mean)",
+            f"shard plan cache   : {self.cache.hits} hits / "
+            f"{self.cache.misses} misses "
+            f"(hit rate {self.cache.hit_rate:.1%})",
+        ])
+
+
+@dataclass(frozen=True)
+class _ShardOutcome:
+    """One shard's contribution, as produced by a worker thread."""
+
+    shard: Shard
+    result: Union[SpMVResult, SpMMResult]
+    attempts: int
+    degraded: bool
+
+
+class ShardedExecutor:
+    """Plan and execute row-shards concurrently, one device per shard.
+
+    Parameters
+    ----------
+    policy:
+        Shard count, balancing strategy, worker-pool width.
+    planner:
+        Per-shard planner (a fitted tuner's ``plan`` or the serve
+        layer's heuristic); each shard's sub-matrix is planned as a
+        matrix in its own right.  Defaults to
+        :func:`~repro.serve.server.heuristic_planner`.
+    device_factory:
+        Builds one :class:`SimulatedDevice` per shard slot (workers
+        must not share mutable device state with each other in general;
+        the simulated device happens to be pure, but a chaos wrapper is
+        not).  Defaults to fresh Kaveri devices on ``registry``.
+    resilience:
+        Optional per-shard resilience: retries + breaker + degradation
+        to the serial path on the unwrapped device.  A failing shard
+        degrades alone; its siblings complete normally.
+    registry:
+        Metrics registry for ``shard_*`` instruments and spans.
+    """
+
+    def __init__(
+        self,
+        policy: ShardingPolicy = ShardingPolicy(),
+        *,
+        planner: Optional[Planner] = None,
+        device_factory: Optional[Callable[[], SimulatedDevice]] = None,
+        resilience: Optional[ResiliencePolicy] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        self.policy = policy
+        self.registry = get_registry() if registry is None else registry
+        if planner is None:
+            from repro.serve.server import heuristic_planner
+
+            planner = heuristic_planner
+        self._planner = planner
+        factory = device_factory or (
+            lambda: SimulatedDevice(registry=self.registry)
+        )
+        self.devices: Tuple[SimulatedDevice, ...] = tuple(
+            factory() for _ in range(policy.n_shards)
+        )
+        self.cache = PlanCache(
+            capacity=policy.plan_cache_capacity, registry=self.registry
+        )
+        self.resilience = resilience
+        self._resilient = (
+            ResilientExecutor(resilience, registry=self.registry)
+            if resilience is not None else None
+        )
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._closed = False
+        self._lock = threading.Lock()
+        self._executions = 0
+        self._shards_executed = 0
+        self._degraded_shards = 0
+        self._max_imbalance = 0.0
+        self._m_executions = self.registry.counter(
+            "shard_executions_total",
+            help_text="Sharded run_spmv/run_spmm calls served.",
+        )
+        self._m_shards = self.registry.counter(
+            "shard_shards_executed_total",
+            help_text="Shards executed across all sharded calls.",
+        )
+        self._m_degraded = self.registry.counter(
+            "shard_degraded_total",
+            help_text="Shards served by the degraded serial path.",
+        )
+        self._m_count = self.registry.gauge(
+            "shard_count",
+            help_text="Effective shard count of the most recent "
+                      "sharded execution.",
+        )
+        self._m_imbalance = self.registry.histogram(
+            "shard_imbalance_ratio",
+            buckets=_IMBALANCE_BUCKETS,
+            help_text="max/mean per-shard simulated seconds per "
+                      "execution (1.0 = perfectly balanced).",
+        )
+        self._m_gather = self.registry.histogram(
+            "shard_gather_seconds",
+            help_text="Host wall seconds scattering shard outputs "
+                      "into the result.",
+        )
+
+    # -- lifecycle -------------------------------------------------------
+    def __enter__(self) -> "ShardedExecutor":
+        if self._closed:
+            raise DeviceError(
+                "ShardedExecutor is closed; create a new instance"
+            )
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut the worker pool down permanently (idempotent).
+
+        A closed executor raises :class:`~repro.errors.DeviceError` on
+        further ``run_spmv``/``run_spmm`` calls -- use-after-close is a
+        caller bug, mirroring :class:`~repro.device.cpu.CPUExecutor`.
+        """
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` (or ``__exit__``) has run."""
+        return self._closed
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._closed:
+            raise DeviceError(
+                "ShardedExecutor used after close(); create a new instance"
+            )
+        if self._pool is None:
+            workers = self.policy.max_workers or self.policy.n_shards
+            self._pool = ThreadPoolExecutor(max_workers=workers)
+        return self._pool
+
+    # -- planning --------------------------------------------------------
+    def _plan_shards(
+        self, shards: List[Shard]
+    ) -> Tuple[List[ExecutionPlan], bool]:
+        """Plan every shard through the per-shard cache.
+
+        Returns ``(plans, all_hit)``; ``all_hit`` is True when no shard
+        needed a fresh planner run (repeated traffic for one parent
+        pattern hits K cached shard plans).
+        """
+        plans: List[ExecutionPlan] = []
+        all_hit = True
+        for shard in shards:
+            fp = fingerprint_matrix(shard.matrix)
+            plan, hit = self.cache.get_or_build(
+                fp, lambda s=shard: self._planner(s.matrix)
+            )
+            plans.append(plan)
+            all_hit &= hit
+        return plans, all_hit
+
+    # -- degraded path ---------------------------------------------------
+    @staticmethod
+    def _serial_plan(matrix: CSRMatrix) -> ExecutionPlan:
+        """The always-correct degraded plan for one shard."""
+        binning = SingleBinning().bin_rows(matrix)
+        return ExecutionPlan(
+            scheme=SingleBinning(),
+            binning=binning,
+            bin_kernels={b: "serial" for b, _ in binning.non_empty()},
+            source="fallback",
+        )
+
+    # -- shard workers ---------------------------------------------------
+    def _run_shard(
+        self,
+        index: int,
+        shard: Shard,
+        plan: ExecutionPlan,
+        rhs: np.ndarray,
+        *,
+        batch: bool,
+        max_rhs: Optional[int],
+    ) -> _ShardOutcome:
+        """Execute one shard on its own device (worker-thread body)."""
+        device = self.devices[index % len(self.devices)]
+
+        def _tuned():
+            if batch:
+                return run_plan_spmm(
+                    device, shard.matrix, rhs, plan, max_rhs=max_rhs
+                )
+            return run_plan_spmv(device, shard.matrix, rhs, plan)
+
+        if self._resilient is None:
+            return _ShardOutcome(
+                shard=shard, result=_tuned(), attempts=1, degraded=False
+            )
+
+        fp = fingerprint_matrix(shard.matrix)
+
+        def _fallback():
+            serial = self._serial_plan(shard.matrix)
+            clean = unwrap_device(device)
+            if batch:
+                return run_plan_spmm(
+                    clean, shard.matrix, rhs, serial, max_rhs=max_rhs
+                )
+            return run_plan_spmv(clean, shard.matrix, rhs, serial)
+
+        def _finite(res) -> bool:
+            out = res.U if batch else res.u
+            return bool(np.isfinite(out).all())
+
+        result, outcome = self._resilient.execute(
+            fp,
+            _tuned,
+            fallback=_fallback,
+            validate=_finite,
+            on_degrade=lambda cause: self.cache.invalidate(fp),
+        )
+        return _ShardOutcome(
+            shard=shard,
+            result=result,
+            attempts=outcome.attempts,
+            degraded=outcome.degraded,
+        )
+
+    # -- execution -------------------------------------------------------
+    def run_spmv(self, matrix: CSRMatrix, x: np.ndarray) -> ShardedResult:
+        """Sharded SpMV: partition, plan per shard, execute, gather."""
+        x = check_spmv_operand(matrix.ncols, x)
+        return self._run(matrix, x, batch=False, max_rhs=None)
+
+    def run_spmm(
+        self,
+        matrix: CSRMatrix,
+        dense: np.ndarray,
+        *,
+        max_rhs: Optional[int] = None,
+    ) -> ShardedResult:
+        """Sharded multi-RHS execution; each shard runs the whole block."""
+        dense = check_spmm_operand(matrix.ncols, dense)
+        return self._run(matrix, dense, batch=True, max_rhs=max_rhs)
+
+    def _run(
+        self,
+        matrix: CSRMatrix,
+        rhs: np.ndarray,
+        *,
+        batch: bool,
+        max_rhs: Optional[int],
+    ) -> ShardedResult:
+        pool = self._ensure_pool()
+        with span("shard.partition", self.registry):
+            shards = make_shards(
+                matrix, self.policy.n_shards, self.policy.strategy
+            )
+        with span("shard.plan", self.registry):
+            plans, all_hit = self._plan_shards(shards)
+        with span("shard.execute", self.registry):
+            futures = [
+                pool.submit(
+                    self._run_shard, i, shard, plan, rhs,
+                    batch=batch, max_rhs=max_rhs,
+                )
+                for i, (shard, plan) in enumerate(zip(shards, plans))
+            ]
+            outcomes = [f.result() for f in futures]
+        n_rhs = rhs.shape[1] if batch else 1
+        with span("shard.gather", self.registry) as sp_gather:
+            shape = (matrix.nrows, n_rhs) if batch else (matrix.nrows,)
+            y = np.zeros(shape)
+            for out in outcomes:
+                d = out.shard.descriptor
+                y[d.row_lo : d.row_hi] = (
+                    out.result.U if batch else out.result.u
+                )
+        shard_seconds = tuple(o.result.seconds for o in outcomes)
+        makespan = max(shard_seconds, default=0.0)
+        mean = sum(shard_seconds) / len(shard_seconds) if shard_seconds else 0.0
+        imbalance = makespan / mean if mean > 0.0 else 1.0
+        degraded = tuple(
+            o.shard.descriptor.shard_id for o in outcomes if o.degraded
+        )
+        summary = ShardSummary(
+            n_shards=len(shards),
+            shard_seconds=shard_seconds,
+            imbalance=imbalance,
+            total_shard_seconds=float(sum(shard_seconds)),
+            degraded_shards=degraded,
+            gather_seconds=sp_gather.seconds,
+        )
+        self._account(summary)
+        return ShardedResult(
+            y=y,
+            seconds=float(makespan),
+            n_dispatches=sum(o.result.n_dispatches for o in outcomes),
+            cache_hit=all_hit,
+            attempts=sum(o.attempts for o in outcomes),
+            n_rhs=n_rhs,
+            summary=summary,
+        )
+
+    def _account(self, summary: ShardSummary) -> None:
+        with self._lock:
+            self._executions += 1
+            self._shards_executed += summary.n_shards
+            self._degraded_shards += len(summary.degraded_shards)
+            self._max_imbalance = max(self._max_imbalance, summary.imbalance)
+        self._m_executions.inc()
+        self._m_shards.inc(summary.n_shards)
+        if summary.degraded_shards:
+            self._m_degraded.inc(len(summary.degraded_shards))
+        self._m_count.set(summary.n_shards)
+        self._m_imbalance.observe(summary.imbalance)
+        self._m_gather.observe(summary.gather_seconds)
+
+    # -- observability ---------------------------------------------------
+    def resilience_stats(self):
+        """Per-shard resilience accounting, or ``None`` without a policy.
+
+        Returns a :class:`~repro.resilient.executor.ResilienceStats`;
+        the server surfaces it in ``ServerStats.resilience`` so the
+        sharded and unsharded paths report through the same field.
+        """
+        return (
+            self._resilient.stats() if self._resilient is not None else None
+        )
+
+    def stats(self) -> ShardExecutorStats:
+        """Immutable snapshot of the sharding accounting."""
+        with self._lock:
+            return ShardExecutorStats(
+                executions=self._executions,
+                shards_executed=self._shards_executed,
+                degraded_shards=self._degraded_shards,
+                max_imbalance=self._max_imbalance,
+                cache=self.cache.stats(),
+            )

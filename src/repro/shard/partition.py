@@ -1,0 +1,182 @@
+"""Row-sharding: split one CSR matrix into independently-plannable pieces.
+
+The paper balances work *inside* one dispatch by binning rows; this
+module applies the same nnz-balancing idea one level up, cutting the row
+space into ``K`` contiguous shards that workers can execute
+concurrently.  Two pieces live here:
+
+- :func:`row_partition` -- the chunk-boundary computation promoted out
+  of :mod:`repro.device.cpu` (which re-exports it for compatibility).
+  ``ROWS`` splits rows evenly, ``NNZ`` places boundaries so every chunk
+  holds approximately equal non-zeros (binary search on ``rowptr``, the
+  CPU analogue of CSR-Adaptive's row blocks);
+- :class:`Shard` / :func:`make_shards` -- materialised shard
+  descriptors with a zero-copy-where-possible sub-CSR view and the
+  per-shard Table I feature vector, so the tuner can plan *each shard
+  independently* (a long-tail shard can get ``kernel-vector`` while the
+  banded bulk gets ``kernel-subvector4``).
+
+Sub-matrices keep the parent's column count, so the full right-hand
+side vector passes through unchanged and the shard results scatter back
+by row range.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.features.extract import MatrixFeatures, extract_features
+from repro.formats.csr import CSRMatrix
+
+__all__ = [
+    "PartitionStrategy",
+    "row_partition",
+    "ShardDescriptor",
+    "Shard",
+    "extract_row_block",
+    "make_shards",
+]
+
+
+class PartitionStrategy(enum.Enum):
+    """How a row space is split across workers (threads or shards)."""
+
+    ROWS = "rows"
+    NNZ = "nnz"
+
+
+def row_partition(
+    matrix: CSRMatrix, n_chunks: int, strategy: PartitionStrategy
+) -> np.ndarray:
+    """Chunk boundaries (length ``n_chunks + 1``) over the row index space.
+
+    ``ROWS`` splits rows evenly; ``NNZ`` places boundaries so every chunk
+    holds approximately ``nnz / n_chunks`` non-zeros (binary search on
+    the row-pointer array -- the classic merge-path-lite balancing).
+
+    The boundaries are always monotonically non-decreasing and cover
+    ``[0, nrows]`` exactly, so every row lands in exactly one chunk.
+    Chunks may be *empty* when ``n_chunks > nrows`` (ROWS) or when one
+    dense row absorbs several chunks' worth of non-zeros (NNZ); callers
+    either skip empty chunks or drop them (:func:`make_shards`).
+    """
+    if n_chunks <= 0:
+        raise ValueError(f"n_chunks must be > 0, got {n_chunks}")
+    m = matrix.nrows
+    if strategy is PartitionStrategy.ROWS:
+        return np.linspace(0, m, n_chunks + 1).astype(np.int64)
+    if strategy is PartitionStrategy.NNZ:
+        targets = np.linspace(0, matrix.nnz, n_chunks + 1)
+        bounds = np.searchsorted(matrix.rowptr, targets, side="left").astype(np.int64)
+        bounds[0], bounds[-1] = 0, m
+        return np.maximum.accumulate(np.clip(bounds, 0, m))
+    raise ValueError(f"unknown strategy {strategy!r}")  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class ShardDescriptor:
+    """Where one shard sits inside its parent matrix."""
+
+    #: Index of this shard in the partition (0-based, launch order).
+    shard_id: int
+    #: First parent row covered (inclusive).
+    row_lo: int
+    #: One past the last parent row covered.
+    row_hi: int
+    #: Non-zeros inside the shard.
+    nnz: int
+
+    @property
+    def n_rows(self) -> int:
+        """Rows this shard covers."""
+        return self.row_hi - self.row_lo
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"shard {self.shard_id}: rows [{self.row_lo}, {self.row_hi}) nnz={self.nnz}"
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One independently-plannable piece of a partitioned matrix.
+
+    ``matrix`` is the sub-CSR over ``[row_lo, row_hi)`` with the parent's
+    column count, so the shard consumes the full RHS vector and its
+    result scatters back into ``y[row_lo:row_hi]``.  ``features`` is the
+    shard's own Table I vector -- the planner sees the shard as a matrix
+    in its own right, which is exactly what lets a skewed shard pick a
+    different kernel than its siblings.
+    """
+
+    descriptor: ShardDescriptor
+    matrix: CSRMatrix
+    features: Optional[MatrixFeatures] = None
+
+
+def extract_row_block(matrix: CSRMatrix, lo: int, hi: int) -> CSRMatrix:
+    """Sub-CSR over the contiguous row range ``[lo, hi)``.
+
+    Zero-copy where possible: ``colidx`` and ``val`` are contiguous
+    slices of the parent's arrays (NumPy views, no copy); only the
+    rebased ``rowptr`` (``hi - lo + 1`` elements) is newly allocated.
+    """
+    if not 0 <= lo <= hi <= matrix.nrows:
+        raise ValueError(
+            f"row range [{lo}, {hi}) invalid for {matrix.nrows} rows"
+        )
+    start, end = int(matrix.rowptr[lo]), int(matrix.rowptr[hi])
+    return CSRMatrix(
+        matrix.rowptr[lo : hi + 1] - start,
+        matrix.colidx[start:end],
+        matrix.val[start:end],
+        (hi - lo, matrix.ncols),
+    )
+
+
+def make_shards(
+    matrix: CSRMatrix,
+    n_shards: int,
+    strategy: PartitionStrategy = PartitionStrategy.NNZ,
+    *,
+    with_features: bool = True,
+) -> List[Shard]:
+    """Partition ``matrix`` into at most ``n_shards`` row-shards.
+
+    Boundaries come from :func:`row_partition` under the given strategy;
+    empty row ranges (possible when ``n_shards > nrows`` or when one
+    dense row swallows several NNZ targets) are dropped, so the
+    effective shard count can be smaller than requested but every parent
+    row is covered by exactly one returned shard.  With
+    ``with_features`` (default) each shard carries its own Table I
+    feature vector for independent planning.
+    """
+    bounds = row_partition(matrix, n_shards, strategy)
+    shards: List[Shard] = []
+    for lo, hi in zip(bounds[:-1], bounds[1:]):
+        lo, hi = int(lo), int(hi)
+        if hi <= lo:
+            continue
+        sub = extract_row_block(matrix, lo, hi)
+        shards.append(
+            Shard(
+                descriptor=ShardDescriptor(
+                    shard_id=len(shards), row_lo=lo, row_hi=hi, nnz=sub.nnz
+                ),
+                matrix=sub,
+                features=extract_features(sub) if with_features else None,
+            )
+        )
+    if not shards and matrix.nrows == 0:
+        # Degenerate zero-row matrix: one empty shard keeps executors
+        # honest (they still produce the length-0 result vector).
+        shards.append(
+            Shard(
+                descriptor=ShardDescriptor(0, 0, 0, 0),
+                matrix=matrix,
+                features=extract_features(matrix) if with_features else None,
+            )
+        )
+    return shards

@@ -1,0 +1,388 @@
+"""Request coalescing: concurrent same-matrix SpMVs become one SpMM.
+
+Iterative solvers and replicated model serving produce many *concurrent*
+SpMV requests against the same matrix.  Executing them one by one pays
+the per-dispatch overhead (and the matrix traffic) once per vector; the
+multi-RHS path (:func:`~repro.serve.batch.run_plan_spmm`) pays it once
+per *batch* -- the paper's conclusion motivates exactly this
+multiple-vector extension.  The :class:`RequestScheduler` sits in front
+of a server and converts concurrency into batch width:
+
+- requests for the same matrix (same structural fingerprint *and* the
+  same values -- the fingerprint deliberately ignores values, so
+  coalescing on it alone would compute with the wrong matrix) join an
+  open *group*;
+- a group flushes when it reaches ``max_batch`` width (the filling
+  thread dispatches it inline), when its ``max_wait_seconds`` window
+  expires (a background dispatcher thread watches deadlines), or when
+  the scheduler closes;
+- one flush executes ``A @ [x_1 .. x_k]`` and every waiter receives its
+  own column -- bit-identical to a sequential ``submit``, because the
+  batched kernels compute each column independently.
+
+Admission control: at most ``max_queue`` requests may be waiting for a
+flush; one more raises :class:`~repro.errors.QueueFullError` instead of
+buffering unboundedly (backpressure belongs at the boundary, not in an
+ever-growing queue).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass, field
+from time import monotonic
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import DeviceError, QueueFullError
+from repro.formats.csr import CSRMatrix
+from repro.observe.registry import MetricsRegistry, get_registry
+from repro.serve.fingerprint import fingerprint_matrix
+from repro.utils.validation import check_spmv_operand
+
+__all__ = [
+    "CoalescePolicy",
+    "ScheduledResult",
+    "SchedulerStats",
+    "RequestScheduler",
+]
+
+#: Signature of the batched executor behind the scheduler: takes the
+#: matrix and a ``(ncols, k)`` RHS block, returns the batch outcome
+#: (e.g. a :class:`~repro.serve.server.SubmitResult` with ``y`` of
+#: shape ``(nrows, k)``).
+BatchExecute = Callable[[CSRMatrix, np.ndarray], Any]
+
+#: Batch-width histogram buckets (powers of two up to typical widths).
+_WIDTH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
+
+@dataclass(frozen=True)
+class CoalescePolicy:
+    """Bounds on the coalescing behaviour.
+
+    Parameters
+    ----------
+    max_batch:
+        Flush a group as soon as it holds this many requests.
+    max_wait_seconds:
+        Longest a request waits for siblings before its group flushes
+        anyway -- the latency the first request in a group pays to buy
+        batching.  ``0`` disables waiting (every request dispatches
+        immediately at width 1).
+    max_queue:
+        Admission bound: most requests allowed to be waiting for a
+        flush at once; one more raises
+        :class:`~repro.errors.QueueFullError`.
+    """
+
+    max_batch: int = 8
+    max_wait_seconds: float = 0.005
+    max_queue: int = 256
+
+    def __post_init__(self) -> None:
+        if self.max_batch <= 0:
+            raise ValueError(f"max_batch must be > 0, got {self.max_batch}")
+        if self.max_wait_seconds < 0:
+            raise ValueError(
+                f"max_wait_seconds must be >= 0, got {self.max_wait_seconds}"
+            )
+        if self.max_queue <= 0:
+            raise ValueError(f"max_queue must be > 0, got {self.max_queue}")
+
+
+@dataclass(frozen=True)
+class ScheduledResult:
+    """What one coalesced ``submit`` receives back.
+
+    ``batch`` is the *shared* outcome of the whole flushed group (every
+    member of the group receives the same object); ``column`` is this
+    request's column inside it.
+    """
+
+    #: The batched executor's return value for the whole group.
+    batch: Any
+    #: This request's column index within the batch.
+    column: int
+    #: How many requests the group held when it flushed.
+    width: int
+    #: Why the group flushed: ``"full"``, ``"window"`` or ``"close"``.
+    cause: str
+
+
+@dataclass(frozen=True)
+class SchedulerStats:
+    """Point-in-time snapshot of the scheduler's accounting."""
+
+    #: Requests admitted (eventually served by some flush).
+    submitted: int
+    #: Requests rejected with :class:`QueueFullError`.
+    rejected: int
+    #: Groups flushed (each is one batched dispatch).
+    batches: int
+    #: Requests served across all flushed groups.
+    coalesced_rhs: int
+    #: Widest group flushed so far.
+    max_width: int
+    #: Flush counts by cause (``full`` / ``window`` / ``close``).
+    flushes: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def mean_width(self) -> float:
+        """Average requests per flushed group (1.0 = no coalescing won)."""
+        return self.coalesced_rhs / self.batches if self.batches else 0.0
+
+    def describe(self) -> str:
+        """Readable one-per-line summary (CLI / logs)."""
+        causes = ", ".join(
+            f"{cause}={count}" for cause, count in sorted(self.flushes.items())
+        ) or "none"
+        return "\n".join([
+            f"requests           : {self.submitted} admitted / "
+            f"{self.rejected} rejected",
+            f"batches            : {self.batches} "
+            f"(mean width {self.mean_width:.2f}, max {self.max_width})",
+            f"flush causes       : {causes}",
+        ])
+
+
+class _Group:
+    """One open coalescing group: same matrix, accumulating columns."""
+
+    __slots__ = ("matrix", "xs", "deadline", "done", "result", "error",
+                 "cause")
+
+    def __init__(self, matrix: CSRMatrix, deadline: float):
+        self.matrix = matrix
+        self.xs: List[np.ndarray] = []
+        self.deadline = deadline
+        self.done = threading.Event()
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self.cause = ""
+
+
+def _coalesce_key(matrix: CSRMatrix) -> Tuple[Any, bytes]:
+    """Identity under which requests may share one dispatch.
+
+    The structural fingerprint ignores values by design (values change
+    every iteration in solver traffic while the *plan* stays valid), so
+    it alone is not a safe coalescing key: two matrices with one pattern
+    but different values must not share a dispatch.  Pair it with a
+    digest of the value array.
+    """
+    digest = hashlib.blake2b(
+        np.ascontiguousarray(matrix.val).tobytes(), digest_size=16
+    ).digest()
+    return fingerprint_matrix(matrix), digest
+
+
+class RequestScheduler:
+    """Admission-controlled coalescing queue in front of a batch executor.
+
+    Parameters
+    ----------
+    execute:
+        The batched path to dispatch flushed groups through -- for the
+        server integration, a bound ``submit_batch``.  Called with
+        ``(matrix, X)`` where ``X`` stacks the group's vectors as
+        columns.  Must be thread-safe (flushes can run concurrently on
+        the filling thread and the dispatcher thread).
+    policy:
+        Batch-width / wait-window / admission bounds.
+    registry:
+        Metrics registry for ``scheduler_*`` instruments.
+    """
+
+    def __init__(
+        self,
+        execute: BatchExecute,
+        policy: CoalescePolicy = CoalescePolicy(),
+        *,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        self._execute = execute
+        self.policy = policy
+        self.registry = get_registry() if registry is None else registry
+        self._cond = threading.Condition()
+        self._open: Dict[Tuple[Any, bytes], _Group] = {}
+        self._pending = 0
+        self._closed = False
+        self._submitted = 0
+        self._rejected = 0
+        self._batches = 0
+        self._coalesced_rhs = 0
+        self._max_width = 0
+        self._flushes: Dict[str, int] = {}
+        self._m_requests = {
+            outcome: self.registry.counter(
+                "scheduler_requests_total", {"outcome": outcome},
+                help_text="Coalescing-scheduler admissions by outcome.",
+            )
+            for outcome in ("accepted", "rejected")
+        }
+        self._m_batches = {
+            cause: self.registry.counter(
+                "scheduler_batches_total", {"cause": cause},
+                help_text="Flushed coalescing groups by flush cause.",
+            )
+            for cause in ("full", "window", "close")
+        }
+        self._m_width = self.registry.histogram(
+            "scheduler_batch_width",
+            buckets=_WIDTH_BUCKETS,
+            help_text="Requests per flushed coalescing group.",
+        )
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop,
+            name="repro-coalesce-dispatcher",
+            daemon=True,
+        )
+        self._dispatcher.start()
+
+    # -- lifecycle -------------------------------------------------------
+    def __enter__(self) -> "RequestScheduler":
+        if self._closed:
+            raise DeviceError(
+                "RequestScheduler is closed; create a new instance"
+            )
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Flush every open group and stop the dispatcher (idempotent).
+
+        Requests already admitted are served (their groups flush with
+        cause ``"close"``); new ``submit`` calls raise
+        :class:`~repro.errors.DeviceError`.
+        """
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        self._dispatcher.join()
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` (or ``__exit__``) has run."""
+        return self._closed
+
+    # -- submission ------------------------------------------------------
+    def submit(self, matrix: CSRMatrix, x: np.ndarray) -> ScheduledResult:
+        """Join (or open) a coalescing group; block until it flushes.
+
+        Returns this request's :class:`ScheduledResult`.  Raises
+        :class:`~repro.errors.QueueFullError` when the admission bound
+        is hit, and re-raises the batched executor's exception when the
+        group's flush failed (every member of a failed group sees the
+        same exception).
+        """
+        x = check_spmv_operand(matrix.ncols, x)
+        to_flush: Optional[_Group] = None
+        with self._cond:
+            if self._closed:
+                raise DeviceError(
+                    "RequestScheduler used after close(); "
+                    "create a new instance"
+                )
+            if self._pending >= self.policy.max_queue:
+                self._rejected += 1
+                self._m_requests["rejected"].inc()
+                raise QueueFullError(
+                    f"coalescing queue full "
+                    f"({self._pending}/{self.policy.max_queue} pending); "
+                    f"shed load or retry later"
+                )
+            key = _coalesce_key(matrix)
+            group = self._open.get(key)
+            if group is None:
+                group = _Group(
+                    matrix, monotonic() + self.policy.max_wait_seconds
+                )
+                self._open[key] = group
+                self._cond.notify_all()  # dispatcher: new deadline to watch
+            column = len(group.xs)
+            group.xs.append(x)
+            self._pending += 1
+            self._submitted += 1
+            self._m_requests["accepted"].inc()
+            if len(group.xs) >= self.policy.max_batch:
+                # The thread that fills a group dispatches it inline --
+                # no handoff latency on the common full-batch path.
+                del self._open[key]
+                to_flush = group
+        if to_flush is not None:
+            self._flush(to_flush, "full")
+        group.done.wait()
+        if group.error is not None:
+            raise group.error
+        return ScheduledResult(
+            batch=group.result,
+            column=column,
+            width=len(group.xs),
+            cause=group.cause,
+        )
+
+    # -- flushing --------------------------------------------------------
+    def _flush(self, group: _Group, cause: str) -> None:
+        """Dispatch one group (lock NOT held) and wake its waiters."""
+        width = len(group.xs)
+        group.cause = cause
+        try:
+            X = np.stack(group.xs, axis=1)
+            group.result = self._execute(group.matrix, X)
+        except BaseException as exc:
+            group.error = exc
+        with self._cond:
+            self._pending -= width
+            self._batches += 1
+            self._coalesced_rhs += width
+            self._max_width = max(self._max_width, width)
+            self._flushes[cause] = self._flushes.get(cause, 0) + 1
+        self._m_batches[cause].inc()
+        self._m_width.observe(width)
+        group.done.set()
+
+    def _dispatch_loop(self) -> None:
+        """Dispatcher thread: flush groups whose wait window expired."""
+        while True:
+            expired: List[_Group] = []
+            closing = False
+            with self._cond:
+                now = monotonic()
+                for key, group in list(self._open.items()):
+                    if self._closed or now >= group.deadline:
+                        del self._open[key]
+                        expired.append(group)
+                if not expired:
+                    if self._closed:
+                        closing = True
+                    else:
+                        timeout = min(
+                            (g.deadline - now for g in self._open.values()),
+                            default=None,
+                        )
+                        self._cond.wait(
+                            timeout=max(timeout, 0.0)
+                            if timeout is not None else None
+                        )
+            for group in expired:
+                self._flush(group, "close" if self._closed else "window")
+            if closing:
+                return
+
+    # -- observability ---------------------------------------------------
+    def stats(self) -> SchedulerStats:
+        """Immutable snapshot of the coalescing accounting."""
+        with self._cond:
+            return SchedulerStats(
+                submitted=self._submitted,
+                rejected=self._rejected,
+                batches=self._batches,
+                coalesced_rhs=self._coalesced_rhs,
+                max_width=self._max_width,
+                flushes=dict(self._flushes),
+            )

@@ -6,7 +6,7 @@ import pytest
 from repro.core.plan import ExecutionPlan
 from repro.device import SimulatedDevice
 from repro.device.executor import SpMMResult
-from repro.errors import ShapeError
+from repro.errors import DeviceError, ShapeError
 from repro.formats import CSRMatrix
 from repro.matrices import generators as gen
 from repro.serve import (
@@ -371,3 +371,94 @@ class TestConcurrency:
         assert stats.cache.size <= capacity
         # every plan beyond capacity must have evicted something
         assert stats.cache.evictions == stats.cache.misses - stats.cache.size
+
+    def test_concurrent_coalescing_matches_sequential(self):
+        """N threads on one fingerprint: bit-identical to sequential
+        ``submit`` and exactly one plan build."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.shard import CoalescePolicy
+
+        m = _matrix(seed=20, nrows=150, ncols=150)
+        rng = np.random.default_rng(21)
+        xs = [rng.standard_normal(m.ncols) for _ in range(24)]
+        reference = SpMVServer()
+        expected = [reference.submit(m, x).y for x in xs]
+
+        with SpMVServer(
+            scheduler=CoalescePolicy(max_batch=6, max_wait_seconds=0.2)
+        ) as server:
+            with ThreadPoolExecutor(max_workers=12) as pool:
+                results = list(pool.map(lambda x: server.submit(m, x), xs))
+            stats = server.stats()
+
+        for res, want in zip(results, expected):
+            # Batched kernels compute every column independently, so
+            # the coalesced result is the sequential result, bit for
+            # bit -- not merely close.
+            np.testing.assert_array_equal(res.y, want)
+        # One fingerprint, many concurrent first requests: the cache
+        # lock makes exactly one of them build the plan.
+        assert stats.cache.misses == 1
+        assert stats.scheduler is not None
+        assert stats.scheduler.submitted == len(xs)
+        assert stats.scheduler.rejected == 0
+        # Coalescing must actually have happened, not degenerated to
+        # 24 width-1 dispatches.
+        assert stats.scheduler.max_width > 1
+        assert stats.scheduler.batches < len(xs)
+        assert sum(r.coalesced_width > 1 for r in results) > 0
+
+
+class TestServerLifecycle:
+    """Context-manager + close() semantics (mirrors CPUExecutor)."""
+
+    def test_context_manager_closes(self):
+        m = _matrix(seed=30, nrows=60, ncols=60)
+        with SpMVServer() as server:
+            server.submit(m, np.ones(m.ncols))
+            assert not server.closed
+        assert server.closed
+
+    def test_close_is_idempotent(self):
+        server = SpMVServer()
+        server.close()
+        server.close()
+        assert server.closed
+
+    def test_submit_after_close_raises(self):
+        m = _matrix(seed=31, nrows=60, ncols=60)
+        server = SpMVServer()
+        server.close()
+        with pytest.raises(DeviceError, match="after close"):
+            server.submit(m, np.ones(m.ncols))
+        with pytest.raises(DeviceError, match="after close"):
+            server.submit_batch(m, np.ones((m.ncols, 2)))
+
+    def test_reenter_after_close_raises(self):
+        server = SpMVServer()
+        server.close()
+        with pytest.raises(DeviceError, match="closed"):
+            server.__enter__()
+
+    def test_close_drains_coalescing_scheduler(self):
+        # Requests sitting in an unfilled group must be served (cause
+        # "close"), not dropped, when the server shuts down.
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.shard import CoalescePolicy
+
+        m = _matrix(seed=32, nrows=80, ncols=80)
+        x = np.ones(m.ncols)
+        server = SpMVServer(
+            scheduler=CoalescePolicy(max_batch=64, max_wait_seconds=30.0)
+        )
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            pending = pool.submit(server.submit, m, x)
+            for _ in range(1000):
+                if server.stats().scheduler.submitted == 1:
+                    break
+            server.close()
+            res = pending.result(timeout=10)
+        np.testing.assert_allclose(res.y, m @ x, atol=1e-8)
+        assert server.stats().scheduler.flushes.get("close") == 1
