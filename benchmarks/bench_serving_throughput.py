@@ -32,6 +32,7 @@ from repro.matrices import generators as gen
 from repro.observe import NULL_REGISTRY
 from repro.serve import SpMVServer
 from repro.shard import CoalescePolicy, ShardingPolicy
+from repro.trace import SlidingQuantiles
 
 RESULTS_PATH = (
     pathlib.Path(__file__).parent / "results" / "BENCH_serving.json"
@@ -61,21 +62,44 @@ def _workload():
 
 
 def _drive(server: SpMVServer, requests, *, concurrency: int = 1) -> dict:
-    """Serve the workload; return wall + simulated readings."""
+    """Serve the workload; return wall + simulated readings.
+
+    Per-request wall latencies are collected around each ``submit`` and
+    summarised as p50/p95/p99 (list appends are GIL-atomic, so the
+    concurrent path needs no lock), and the server's per-stage wall
+    accounting (fingerprint / plan / execute) rides along -- the
+    breakdown that says *where* a regression lives, not just that one
+    happened.
+    """
+    latencies: list = []
+
+    def timed_submit(m, x):
+        t = perf_counter()
+        server.submit(m, x)
+        latencies.append(perf_counter() - t)
+
     t0 = perf_counter()
     if concurrency == 1:
         for m, x in requests:
-            server.submit(m, x)
+            timed_submit(m, x)
     else:
         with ThreadPoolExecutor(max_workers=concurrency) as pool:
-            list(pool.map(lambda mx: server.submit(mx[0], mx[1]), requests))
+            list(pool.map(lambda mx: timed_submit(mx[0], mx[1]), requests))
     wall = perf_counter() - t0
     server.close()  # drain any scheduler so the stats are final
     stats = server.stats()
+    quantiles = SlidingQuantiles(window=max(1, len(latencies)))
+    for v in latencies:
+        quantiles.observe(v)
     reading = {
         "requests": len(requests),
         "wall_seconds": wall,
         "wall_requests_per_sec": len(requests) / wall,
+        "wall_latency_quantiles": {
+            name: quantiles.quantile(q)
+            for name, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+        },
+        "stage_seconds": dict(stats.stage_seconds),
         "simulated_seconds": stats.simulated_seconds,
         "dispatch_sequences": stats.dispatch_sequences,
         "kernel_launches": stats.kernel_launches,
@@ -148,6 +172,11 @@ def test_serving_throughput_comparison():
     assert speedup["coalesced"] > 1.0
     # Coalescing genuinely batched (width > 1 on average).
     assert result["configs"]["coalesced"]["mean_batch_width"] > 1.0
+    # The per-stage breakdown is present and ordered (p50 <= p99).
+    for config in result["configs"].values():
+        q = config["wall_latency_quantiles"]
+        assert q["p50"] <= q["p95"] <= q["p99"]
+        assert set(config["stage_seconds"]) >= {"fingerprint", "execute"}
     RESULTS_PATH.parent.mkdir(exist_ok=True)
     RESULTS_PATH.write_text(
         json.dumps(result, indent=2) + "\n", encoding="utf-8"

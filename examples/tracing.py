@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Tracing: follow one request across threads, profile its kernels.
+
+The metrics layer answers "how often / how long on average"; this
+example shows the `repro.trace` layer answering "what did *this*
+request do":
+
+1. serve traffic through a sharded + coalescing server with
+   ``tracing=TracingPolicy(...)`` -- every request gets a connected
+   trace even though its work hops to shard workers and a shared
+   coalesced dispatch;
+2. print one request's plain-text timeline and export the whole run as
+   Chrome trace-event JSON (load it in chrome://tracing or
+   https://ui.perfetto.dev);
+3. check latency SLOs from the server's health snapshot;
+4. profile the analytical cost model: per-launch lane occupancy,
+   memory-vs-compute split and roofline efficiency for the plan the
+   server would run.
+
+Run:  python examples/tracing.py
+"""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.matrices import generators as gen
+from repro.serve import SpMVServer
+from repro.serve.server import heuristic_planner
+from repro.shard.executor import ShardingPolicy
+from repro.shard.scheduler import CoalescePolicy
+from repro.trace import KernelProfiler, SLOTarget, TracingPolicy
+
+
+def main() -> None:
+    matrix = gen.power_law_graph(5_000, seed=0)
+    rng = np.random.default_rng(1)
+
+    # ------------------------------------------------------------------
+    # 1. A traced, sharded, coalescing server under concurrent traffic.
+    # ------------------------------------------------------------------
+    with SpMVServer(
+        sharding=ShardingPolicy(n_shards=4),
+        scheduler=CoalescePolicy(max_batch=8, max_wait_seconds=0.02),
+        tracing=TracingPolicy(slo=SLOTarget(p99=0.25)),
+    ) as server:
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(
+                lambda _: server.submit(
+                    matrix, rng.standard_normal(matrix.ncols)
+                ),
+                range(16),
+            ))
+
+        # --------------------------------------------------------------
+        # 2. One request's timeline, and the run's Chrome trace.
+        # --------------------------------------------------------------
+        last = results[-1]
+        print(f"request trace {last.trace_id} "
+              f"(coalesced width {last.coalesced_width}, "
+              f"dispatch trace {last.dispatch_trace_id}):\n")
+        print(server.trace_recorder.timeline(last.trace_id))
+        with open("trace.json", "w", encoding="utf-8") as fh:
+            fh.write(server.trace_recorder.chrome_trace_json(indent=2))
+        print("\nfull run exported to trace.json "
+              "(chrome://tracing / ui.perfetto.dev)")
+
+        # --------------------------------------------------------------
+        # 3. Are we meeting the latency objective?
+        # --------------------------------------------------------------
+        health = server.health_snapshot()
+        print(f"\nSLO health: {health['status']}  "
+              f"(p99 = {health['quantiles']['p99'] * 1e3:.2f} ms, "
+              f"target {health['targets']['p99'] * 1e3:.0f} ms)")
+
+    # ------------------------------------------------------------------
+    # 4. Why those launches cost what they cost: the kernel profile.
+    # ------------------------------------------------------------------
+    print("\nkernel-level profile of the plan's launches:\n")
+    plan = heuristic_planner(matrix)
+    print(KernelProfiler().profile_plan(matrix, plan).describe())
+
+
+if __name__ == "__main__":
+    main()

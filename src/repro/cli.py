@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six commands cover the deployment workflow:
+Seven commands cover the deployment workflow:
 
 - ``train``  -- offline-train a tuner on a synthetic corpus (or point it
   at a directory of Matrix Market files) and save it to JSON;
@@ -17,6 +17,9 @@ Six commands cover the deployment workflow:
   registry and emit the Prometheus-text and JSON snapshots (cache
   hits/misses, per-stage latency histograms, per-kernel dispatch
   counters, structured events);
+- ``trace``  -- kernel-level profile of a matrix's plan (lane occupancy,
+  memory/compute split, roofline efficiency per launch), or a full
+  ``(granularity, bin, kernel)`` sweep with ``--sweep``;
 - ``info``   -- show the simulated device and the kernel pool.
 
 Examples
@@ -27,6 +30,9 @@ Examples
     python -m repro plan --model tuner.json --matrix road_network:50000
     python -m repro run  --model tuner.json --matrix my_matrix.mtx
     python -m repro serve-demo --requests 32 --batch 8 --metrics
+    python -m repro serve-demo --shards 4 --coalesce --trace \\
+        --trace-out trace.json
+    python -m repro trace --matrix power_law:5000 --sweep
     python -m repro metrics --format prometheus
     python -m repro info
 """
@@ -68,6 +74,7 @@ from repro.serve import SpMVServer
 from repro.shard import PartitionStrategy
 from repro.shard.executor import ShardingPolicy
 from repro.shard.scheduler import CoalescePolicy
+from repro.trace import KernelProfiler, SLOTarget, TracingPolicy
 
 __all__ = ["main", "build_parser", "load_matrix"]
 
@@ -253,6 +260,12 @@ def _build_demo_server(args: argparse.Namespace) -> SpMVServer:
         )
         print(f"coalescing: width <= {scheduler.max_batch}, "
               f"window {scheduler.max_wait_seconds * 1e3:.1f} ms")
+    tracing = None
+    if getattr(args, "trace", False) or getattr(args, "trace_out", None):
+        slo_p99 = getattr(args, "slo_p99", 0.1)
+        tracing = TracingPolicy(slo=SLOTarget(p99=slo_p99))
+        print(f"tracing: on (ring capacity {tracing.recorder_capacity}, "
+              f"SLO p99 <= {slo_p99 * 1e3:.1f} ms)")
     return SpMVServer(
         tuner,
         device=device,
@@ -260,6 +273,7 @@ def _build_demo_server(args: argparse.Namespace) -> SpMVServer:
         resilience=resilience,
         sharding=sharding,
         scheduler=scheduler,
+        tracing=tracing,
     )
 
 
@@ -286,8 +300,37 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
     if registry is not None:
         print("\n--- metrics (prometheus) ---")
         print(to_prometheus_text(registry), end="")
+    if server.trace_recorder is not None:
+        _report_traces(server, getattr(args, "trace_out", None))
     print(f"\nall results verified: {'OK' if ok else 'MISMATCH'}")
     return 0 if ok else 1
+
+
+def _report_traces(server: SpMVServer, trace_out: Optional[str]) -> None:
+    """Print the trace/SLO summary for a traced demo run."""
+    rec = server.trace_recorder
+    tids = rec.trace_ids()
+    print(f"\n--- traces ({len(tids)} recorded, {rec.dropped} "
+          f"dropped by the ring) ---")
+    request_roots = [r for r in rec.roots() if r.name == "serve.request"]
+    if request_roots:
+        print("sample request timeline (last request):\n")
+        print(rec.timeline(request_roots[-1].trace_id))
+    health = server.health_snapshot()
+    quantiles = ", ".join(
+        f"{q}={v * 1e3:.3f} ms" for q, v in health["quantiles"].items()
+        if v == v  # skip NaN before any observation
+    )
+    breaches = ", ".join(
+        f"{q}={n}" for q, n in sorted(health["breaches"].items())
+    ) or "none"
+    print(f"\nSLO health: {health['status']} "
+          f"(window of {health['observed']}: {quantiles}; "
+          f"breaches: {breaches})")
+    if trace_out:
+        Path(trace_out).write_text(rec.chrome_trace_json(indent=2))
+        print(f"Chrome trace written to {trace_out} "
+              f"(load via chrome://tracing or https://ui.perfetto.dev)")
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
@@ -320,6 +363,37 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
             print(f"  {event}")
     print(f"\nall results verified: {'OK' if ok else 'MISMATCH'}")
     return 0 if ok else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Kernel-level profile of a matrix's plan on the analytical device.
+
+    Default: profile the launches the plan would actually make (per-bin
+    kernel, lane occupancy, memory/compute split, roofline efficiency).
+    ``--sweep`` instead costs *every* (granularity, bin, kernel)
+    combination -- the exhaustive view behind the paper's tuning tables.
+    """
+    from repro.serve.server import heuristic_planner
+
+    matrix = load_matrix(args.matrix, seed=args.seed)
+    print(f"matrix: {matrix}")
+    profiler = KernelProfiler()
+    if args.sweep:
+        report = profiler.sweep(matrix)
+    else:
+        if args.model:
+            plan = AutoTuner.load(args.model).plan(matrix)
+        else:
+            plan = heuristic_planner(matrix)
+        print(f"plan: {plan.scheme.name}")
+        report = profiler.profile_plan(matrix, plan)
+    print(report.describe())
+    if args.out:
+        import json as _json
+
+        Path(args.out).write_text(_json.dumps(report.as_dict(), indent=2))
+        print(f"profile written to {args.out}")
+    return 0
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -422,6 +496,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--coalesce-window", type=float, default=0.005,
                          help="seconds a request waits for siblings "
                               "before dispatching anyway (default 0.005)")
+    p_serve.add_argument("--trace", action="store_true",
+                         help="record a distributed trace per request and "
+                              "print a sample timeline + SLO health")
+    p_serve.add_argument("--trace-out", default=None,
+                         help="write the Chrome trace-event JSON here "
+                              "(implies --trace)")
+    p_serve.add_argument("--slo-p99", type=float, default=0.1,
+                         help="p99 latency objective in seconds for the "
+                              "SLO monitor (default 0.1)")
     p_serve.set_defaults(func=_cmd_serve_demo)
 
     p_metrics = sub.add_parser(
@@ -448,6 +531,24 @@ def build_parser() -> argparse.ArgumentParser:
                            default="both",
                            help="which snapshot(s) to print (default both)")
     p_metrics.set_defaults(func=_cmd_metrics)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="kernel-level profile of a matrix's plan (or a full "
+             "(U, bin, kernel) sweep) on the analytical device",
+    )
+    p_trace.add_argument("--matrix", required=True,
+                         help=".mtx path or family:nrows")
+    p_trace.add_argument("--model", default=None,
+                         help="trained tuner JSON (heuristic planner if "
+                              "omitted)")
+    p_trace.add_argument("--sweep", action="store_true",
+                         help="profile every (granularity, bin, kernel) "
+                              "combination instead of the plan's launches")
+    p_trace.add_argument("--out", default=None,
+                         help="also write the profile as JSON here")
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.set_defaults(func=_cmd_trace)
 
     p_info = sub.add_parser("info", help="device + kernel pool summary")
     p_info.set_defaults(func=_cmd_info)

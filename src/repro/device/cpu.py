@@ -26,6 +26,7 @@ import numpy as np
 from repro.errors import DeviceError
 from repro.formats.csr import CSRMatrix
 from repro.observe.registry import MetricsRegistry, get_registry
+from repro.observe.spans import activate_trace, capture_trace, trace_event
 from repro.shard.partition import PartitionStrategy, row_partition
 from repro.utils.primitives import segmented_sum
 from repro.utils.validation import check_spmm_operand, check_spmv_operand
@@ -67,11 +68,27 @@ class CPUExecutor:
             for op in ("spmv", "spmm")
         }
 
-    def _timed_chunk(self, fn: Callable[..., None], op: str, *args) -> None:
-        """Run one chunk in a worker thread and record its wall time."""
+    def _timed_chunk(
+        self, fn: Callable[..., None], op: str, trace_ctx, *args
+    ) -> None:
+        """Run one chunk in a worker thread and record its wall time.
+
+        ``trace_ctx`` is the submitting thread's captured trace (or
+        ``None``); with one, the chunk's interval is recorded into the
+        request's trace from this worker thread.  ``args`` end with
+        ``(..., lo, hi, out)`` for both chunk kernels.
+        """
         t0 = perf_counter()
         fn(*args)
-        self._m_chunk[op].observe(perf_counter() - t0)
+        t1 = perf_counter()
+        self._m_chunk[op].observe(t1 - t0)
+        if trace_ctx is not None:
+            with activate_trace(trace_ctx):
+                trace_event(
+                    "cpu.chunk", t0, t1,
+                    attrs={"op": op, "row_lo": int(args[-3]),
+                           "row_hi": int(args[-2])},
+                )
 
     # -- lifecycle -------------------------------------------------------
     def __enter__(self) -> "CPUExecutor":
@@ -145,8 +162,9 @@ class CPUExecutor:
         n_chunks = max(1, min(self.n_threads * chunks_per_thread, matrix.nrows))
         bounds = row_partition(matrix, n_chunks, strategy)
         pool = self._ensure_pool()
+        ctx = capture_trace()
         futures = [
-            pool.submit(self._timed_chunk, self._chunk_spmv, "spmv",
+            pool.submit(self._timed_chunk, self._chunk_spmv, "spmv", ctx,
                         matrix, v, int(bounds[i]), int(bounds[i + 1]), out)
             for i in range(n_chunks)
         ]
@@ -197,8 +215,9 @@ class CPUExecutor:
                               matrix.nrows))
         bounds = row_partition(matrix, n_chunks, strategy)
         pool = self._ensure_pool()
+        ctx = capture_trace()
         futures = [
-            pool.submit(self._timed_chunk, self._chunk_spmm, "spmm",
+            pool.submit(self._timed_chunk, self._chunk_spmm, "spmm", ctx,
                         matrix, dense, int(bounds[i]), int(bounds[i + 1]),
                         out)
             for i in range(n_chunks)

@@ -29,7 +29,13 @@ from repro.device.occupancy import resident_waves
 from repro.device.spec import DeviceSpec
 from repro.errors import DeviceError
 
-__all__ = ["DispatchStats", "dispatch_seconds", "dispatch_cycles"]
+__all__ = [
+    "DispatchStats",
+    "CycleBreakdown",
+    "dispatch_breakdown",
+    "dispatch_seconds",
+    "dispatch_cycles",
+]
 
 
 @dataclass(frozen=True)
@@ -90,11 +96,46 @@ class DispatchStats:
         )
 
 
-def dispatch_cycles(stats: DispatchStats, spec: DeviceSpec) -> float:
-    """Simulated GPU cycles for one kernel launch (excluding the fixed
+@dataclass(frozen=True)
+class CycleBreakdown:
+    """Per-term cycle accounting of one dispatch (the profiler's view).
+
+    The four roofline components *before* the overlap combination, plus
+    the combined total.  ``total`` is exactly what
+    :func:`dispatch_cycles` returns; the individual terms let a
+    profiler report which wall a launch sat against and how the
+    memory/compute time splits.
+    """
+
+    #: Instruction-issue cycles (incl. the longest-wavefront floor).
+    compute: float
+    #: DRAM-transfer cycles at achievable bandwidth.
+    bandwidth: float
+    #: Exposed dependent-load latency cycles after hiding.
+    latency: float
+    #: Work-group scheduling overhead cycles.
+    overhead: float
+    #: Combined cycles (roofline max + overlap leak + overhead).
+    total: float
+    #: Wavefronts resident per CU (the latency-hiding capability).
+    resident_waves: float
+
+    @property
+    def dominant(self) -> str:
+        """Which roofline wall bounds this dispatch."""
+        terms = {
+            "compute": self.compute,
+            "bandwidth": self.bandwidth,
+            "latency": self.latency,
+        }
+        return max(terms, key=lambda k: terms[k])
+
+
+def dispatch_breakdown(stats: DispatchStats, spec: DeviceSpec) -> CycleBreakdown:
+    """Per-term cycles for one kernel launch (excluding the fixed
     kernel-launch overhead, which the executor adds once per launch)."""
     if stats.n_waves <= 0:
-        return 0.0
+        return CycleBreakdown(0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
 
     # --- compute term -------------------------------------------------
     # The device issues spec.issue_rate wavefront-instructions per cycle
@@ -128,8 +169,21 @@ def dispatch_cycles(stats: DispatchStats, spec: DeviceSpec) -> float:
     # --- scheduling overhead ---------------------------------------------
     # Work-groups are distributed over CUs; each costs launch cycles on
     # its CU, pipelined across the device.
-    cycles += stats.n_workgroups * spec.workgroup_launch_cycles / spec.num_cus
-    return float(cycles)
+    overhead = stats.n_workgroups * spec.workgroup_launch_cycles / spec.num_cus
+    return CycleBreakdown(
+        compute=float(compute),
+        bandwidth=float(bandwidth),
+        latency=float(latency),
+        overhead=float(overhead),
+        total=float(cycles + overhead),
+        resident_waves=float(hiding),
+    )
+
+
+def dispatch_cycles(stats: DispatchStats, spec: DeviceSpec) -> float:
+    """Simulated GPU cycles for one kernel launch (excluding the fixed
+    kernel-launch overhead, which the executor adds once per launch)."""
+    return dispatch_breakdown(stats, spec).total
 
 
 def dispatch_seconds(stats: DispatchStats, spec: DeviceSpec) -> float:

@@ -10,6 +10,7 @@ time with each kernel's ``cost`` plus the per-launch overhead.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -21,6 +22,7 @@ from repro.errors import DeviceError
 from repro.formats.csr import CSRMatrix
 from repro.kernels.base import Kernel, row_products_batch
 from repro.observe.registry import MetricsRegistry, get_registry
+from repro.observe.spans import current_trace, trace_event
 from repro.utils.primitives import segmented_sum_2d
 from repro.utils.validation import check_spmm_operand, check_spmv_operand
 
@@ -213,14 +215,27 @@ class SimulatedDevice:
         lengths = matrix.row_lengths()
         times: List[float] = []
         launches = 0
+        # One boolean decides per-launch tracing for the whole loop;
+        # untraced runs pay a single thread-local read, nothing per
+        # dispatch.
+        traced = current_trace() is not None
         for kernel, rows in dispatches:
             rows = np.asarray(rows, dtype=np.int64)
             if len(rows) == 0:
                 continue
+            if traced:
+                w0 = perf_counter()
             u[rows] = kernel.compute(matrix, v, rows)
             t = self.time_dispatch(
                 kernel, lengths[rows], g, include_launch=False
             )
+            if traced:
+                trace_event(
+                    "device.dispatch", w0, perf_counter(),
+                    attrs={"kernel": kernel.name, "op": "spmv",
+                           "rows": int(len(rows)),
+                           "simulated_seconds": t},
+                )
             times.append(t)
             self._record_dispatch(kernel, t, op="spmv")
             launches += 1
@@ -285,15 +300,25 @@ class SimulatedDevice:
         lengths = matrix.row_lengths()
         times: List[float] = []
         launches = 0
+        traced = current_trace() is not None
         for kernel, rows in dispatches:
             rows = np.asarray(rows, dtype=np.int64)
             if len(rows) == 0:
                 continue
+            if traced:
+                w0 = perf_counter()
             products, offsets = row_products_batch(matrix, dense, rows)
             U[rows] = segmented_sum_2d(products, offsets)
             t = self.time_dispatch(
                 kernel, lengths[rows], g, include_launch=False, n_rhs=k
             )
+            if traced:
+                trace_event(
+                    "device.dispatch", w0, perf_counter(),
+                    attrs={"kernel": kernel.name, "op": "spmm",
+                           "rows": int(len(rows)), "n_rhs": k,
+                           "simulated_seconds": t},
+                )
             times.append(t)
             self._record_dispatch(kernel, t, op="spmm")
             launches += 1

@@ -10,7 +10,10 @@ the same spirit as the paper's measurement-driven tuning:
   histograms behind a thread-safe :class:`MetricsRegistry`, plus the
   process-global default registry and the no-op :data:`NULL_REGISTRY`;
 - :mod:`repro.observe.spans` -- ``with span("serve.plan"):`` nesting
-  wall-clock tracing feeding ``span_seconds`` histograms;
+  wall-clock tracing feeding ``span_seconds`` histograms, plus the
+  cross-thread trace-context hooks (:func:`activate_trace`,
+  :func:`capture_trace`, :func:`trace_event`) the :mod:`repro.trace`
+  layer plugs into;
 - :mod:`repro.observe.export` -- Prometheus text format and JSON
   snapshot rendering;
 - :mod:`repro.observe.events` -- structured event objects and the
@@ -30,7 +33,15 @@ from repro.observe.registry import (
     get_registry,
     set_registry,
 )
-from repro.observe.spans import Span, current_span, span
+from repro.observe.spans import (
+    Span,
+    activate_trace,
+    capture_trace,
+    current_span,
+    current_trace,
+    span,
+    trace_event,
+)
 
 __all__ = [
     "Counter",
@@ -44,6 +55,10 @@ __all__ = [
     "Span",
     "span",
     "current_span",
+    "activate_trace",
+    "capture_trace",
+    "current_trace",
+    "trace_event",
     "Event",
     "RecordingSink",
     "to_prometheus_text",

@@ -10,8 +10,9 @@ synchronously (logging, test capture, or forwarding to a real pipeline).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 __all__ = ["Event", "RecordingSink"]
 
@@ -29,17 +30,40 @@ class Event:
 
 
 class RecordingSink:
-    """Event sink that keeps everything it sees (tests and the CLI)."""
+    """Event sink that keeps what it sees (tests and the CLI).
 
-    def __init__(self) -> None:
-        self.events: List[Event] = []
+    Unbounded by default (the historical behaviour tests rely on);
+    pass ``max_events`` to turn it into a ring buffer that keeps only
+    the newest events -- a sink left attached to a long-lived server
+    must not grow without limit under sustained load.  ``dropped``
+    counts the events the ring displaced.
+    """
+
+    def __init__(self, max_events: Optional[int] = None) -> None:
+        if max_events is not None and max_events <= 0:
+            raise ValueError(f"max_events must be > 0, got {max_events}")
+        self.max_events = max_events
+        self._events: "deque[Event]" = deque(maxlen=max_events)
+        self.dropped = 0
+
+    @property
+    def events(self) -> List[Event]:
+        """Recorded events, oldest first (a copy; safe to mutate)."""
+        return list(self._events)
 
     def __call__(self, event: Event) -> None:
-        self.events.append(event)
+        if (self.max_events is not None
+                and len(self._events) == self.max_events):
+            self.dropped += 1
+        self._events.append(event)
+
+    def __len__(self) -> int:
+        return len(self._events)
 
     def named(self, name: str) -> List[Event]:
         """All recorded events with this name, in emission order."""
-        return [e for e in self.events if e.name == name]
+        return [e for e in self._events if e.name == name]
 
     def clear(self) -> None:
-        self.events.clear()
+        """Drop the recorded events (the ``dropped`` counter survives)."""
+        self._events.clear()

@@ -6,11 +6,30 @@ records the elapsed seconds into the registry histogram
 opened inside another knows its parent (and its slash-joined path), so
 stage breakdowns fall out of the data instead of ad-hoc timers.
 
+Cross-thread propagation: the per-thread stack alone loses parentage
+the moment work hops threads (a shard worker, a coalescing dispatcher).
+A *trace context* -- any object implementing the small protocol below,
+concretely :class:`repro.trace.TraceContext` -- can be activated on a
+thread with :func:`activate_trace`; while active,
+
+- spans opened on the thread parent to the context's carried span
+  (``current_span()`` honours it too), stitching the worker's spans
+  under the submitting request across the thread boundary;
+- every completed span is assigned ``trace_id``/``span_id`` links and
+  handed to the context's ``record`` hook (the trace layer's ring
+  buffer), with wall-clock ``start``/``end`` timestamps for the
+  Chrome-trace exporter.
+
+Activation swaps in a *fresh* span stack, so a context activated
+mid-request (the scheduler's fan-in dispatch) re-roots cleanly instead
+of accidentally nesting under whatever the flushing thread had open.
+
 The span object is yielded so callers can read ``sp.seconds`` after the
 block -- the serving layer uses this to keep its own per-instance stage
 accounting in sync with the registry without timing anything twice.
-With a disabled registry the span still times (two ``perf_counter``
-calls) but skips the stack and the histogram entirely.
+With a disabled registry and no active trace the span still times (two
+``perf_counter`` calls) but skips the stack, the histogram and the
+recorder entirely -- the tracing-off hot path is unchanged.
 """
 
 from __future__ import annotations
@@ -18,11 +37,19 @@ from __future__ import annotations
 import threading
 from contextlib import contextmanager
 from time import perf_counter
-from typing import Iterator, Optional
+from typing import Any, Iterator, Mapping, Optional, Sequence, Tuple
 
 from repro.observe.registry import MetricsRegistry, get_registry
 
-__all__ = ["Span", "span", "current_span"]
+__all__ = [
+    "Span",
+    "span",
+    "current_span",
+    "activate_trace",
+    "capture_trace",
+    "current_trace",
+    "trace_event",
+]
 
 #: Histogram every span's duration lands in (labelled by span name).
 SPAN_HISTOGRAM = "span_seconds"
@@ -31,14 +58,28 @@ _stack = threading.local()
 
 
 class Span:
-    """One timed region; ``seconds`` is valid after the block exits."""
+    """One timed region; ``seconds`` is valid after the block exits.
 
-    __slots__ = ("name", "parent", "seconds")
+    ``trace_id``/``span_id``/``parent_span_id``, the wall-clock
+    ``start``/``end`` pair, ``attrs`` and ``links`` are populated only
+    while a trace context is active; without one they stay ``None`` and
+    the span is a pure stage timer.
+    """
+
+    __slots__ = ("name", "parent", "seconds", "trace_id", "span_id",
+                 "parent_span_id", "start", "end", "attrs", "links")
 
     def __init__(self, name: str, parent: Optional["Span"] = None):
         self.name = name
         self.parent = parent
         self.seconds = 0.0
+        self.trace_id: Optional[str] = None
+        self.span_id: Optional[str] = None
+        self.parent_span_id: Optional[str] = None
+        self.start: Optional[float] = None
+        self.end: Optional[float] = None
+        self.attrs: Optional[Mapping[str, Any]] = None
+        self.links: Tuple[Tuple[str, str], ...] = ()
 
     @property
     def path(self) -> str:
@@ -57,14 +98,119 @@ class Span:
 
 
 def current_span() -> Optional[Span]:
-    """The innermost open span on this thread, if any."""
+    """The innermost open span on this thread, if any.
+
+    Honours an explicitly activated trace context: on a thread whose
+    own stack is empty (a shard worker, the coalescing dispatcher) this
+    returns the span carried across by :func:`activate_trace`, so
+    cross-thread callers see the request's serve-stage span instead of
+    ``None``.
+    """
     stack = getattr(_stack, "spans", None)
-    return stack[-1] if stack else None
+    if stack:
+        return stack[-1]
+    ctx = current_trace()
+    return ctx.span if ctx is not None else None
+
+
+def current_trace():
+    """The trace context activated on this thread, if any."""
+    frames = getattr(_stack, "trace", None)
+    return frames[-1][0] if frames else None
+
+
+def capture_trace():
+    """Snapshot the active trace + innermost span for a thread handoff.
+
+    Returns ``None`` when no trace is active (tracing off) -- callers
+    skip activation entirely, keeping the untraced path branch-cheap.
+    With an active context, returns it re-parented (via the protocol's
+    ``child``) at the innermost open span, so a worker thread that
+    activates the capture parents its spans to the stage that was open
+    on *this* thread at capture time.
+
+    Lives here (not in ``repro.trace``) because the device layer calls
+    it from inside the package the trace layer's profiler imports --
+    the observe layer is the only safe meeting point.
+    """
+    ctx = current_trace()
+    if ctx is None:
+        return None
+    sp = current_span()
+    if sp is not None and sp.span_id is not None and hasattr(ctx, "child"):
+        return ctx.child(sp)
+    return ctx
+
+
+@contextmanager
+def activate_trace(ctx) -> Iterator[None]:
+    """Make ``ctx`` the active trace context for this thread.
+
+    ``ctx`` is duck-typed (concretely
+    :class:`repro.trace.TraceContext`): it must expose ``trace_id``,
+    ``span`` (the carried parent :class:`Span` or ``None``),
+    ``span_id`` (the carried parent's id), ``new_span_id()`` and
+    ``record(span)``.
+
+    Activation swaps in a fresh span stack so spans opened under the
+    context parent to ``ctx.span`` -- not to whatever the activating
+    thread happened to have open -- and restores the previous stack on
+    exit.  Activations nest (last one wins).
+    """
+    frames = getattr(_stack, "trace", None)
+    if frames is None:
+        frames = _stack.trace = []
+    saved = getattr(_stack, "spans", None)
+    frames.append((ctx, saved))
+    _stack.spans = []
+    try:
+        yield
+    finally:
+        frames.pop()
+        _stack.spans = saved
+
+
+def trace_event(
+    name: str,
+    start: float,
+    end: float,
+    attrs: Optional[Mapping[str, Any]] = None,
+    links: Sequence[Tuple[str, str]] = (),
+) -> None:
+    """Record one pre-timed region into the active trace, if any.
+
+    The zero-cost hook for hot loops (per-kernel device dispatches,
+    CPU chunks) that must not pay a full ``span()`` per iteration:
+    callers time the region themselves *only* when
+    :func:`current_trace` returned a context, then hand the interval
+    over here.  No active trace: this is one attribute check.
+    """
+    ctx = current_trace()
+    if ctx is None:
+        return
+    sp = Span(name)
+    parent = current_span()
+    sp.trace_id = ctx.trace_id
+    sp.span_id = ctx.new_span_id()
+    sp.parent_span_id = (
+        parent.span_id if parent is not None and parent.span_id is not None
+        else ctx.span_id
+    )
+    sp.start = float(start)
+    sp.end = float(end)
+    sp.seconds = float(end) - float(start)
+    sp.attrs = dict(attrs) if attrs else None
+    sp.links = tuple(links)
+    ctx.record(sp)
 
 
 @contextmanager
 def span(
-    name: str, registry: Optional[MetricsRegistry] = None
+    name: str,
+    registry: Optional[MetricsRegistry] = None,
+    *,
+    attrs: Optional[Mapping[str, Any]] = None,
+    links: Sequence[Tuple[str, str]] = (),
 ) -> Iterator[Span]:
     """Time a region, nest it under the current span, feed the registry.
 
@@ -76,9 +222,18 @@ def span(
     registry:
         Defaults to the process-global registry
         (:func:`~repro.observe.registry.get_registry`).
+    attrs:
+        Optional flat attributes attached to the trace record (shard
+        ids, attempt numbers, batch widths).  Ignored when no trace
+        context is active.
+    links:
+        ``(trace_id, span_id)`` references to *other* traces this span
+        fans in from (the coalesced dispatch linking its member
+        requests).  Ignored when no trace context is active.
     """
     reg = get_registry() if registry is None else registry
-    if not reg.enabled:
+    ctx = current_trace()
+    if not reg.enabled and ctx is None:
         sp = Span(name)
         t0 = perf_counter()
         try:
@@ -89,16 +244,33 @@ def span(
     stack = getattr(_stack, "spans", None)
     if stack is None:
         stack = _stack.spans = []
-    sp = Span(name, parent=stack[-1] if stack else None)
+    parent = stack[-1] if stack else (ctx.span if ctx is not None else None)
+    sp = Span(name, parent=parent)
+    if ctx is not None:
+        sp.trace_id = ctx.trace_id
+        sp.span_id = ctx.new_span_id()
+        sp.parent_span_id = (
+            parent.span_id
+            if parent is not None and parent.span_id is not None
+            else ctx.span_id
+        )
+        sp.attrs = dict(attrs) if attrs else None
+        sp.links = tuple(links)
     stack.append(sp)
     t0 = perf_counter()
     try:
         yield sp
     finally:
-        sp.seconds = perf_counter() - t0
+        t1 = perf_counter()
+        sp.seconds = t1 - t0
         stack.pop()
-        reg.histogram(
-            SPAN_HISTOGRAM,
-            {"span": name},
-            help_text="Wall seconds spent inside each traced span.",
-        ).observe(sp.seconds)
+        if ctx is not None:
+            sp.start = t0
+            sp.end = t1
+            ctx.record(sp)
+        if reg.enabled:
+            reg.histogram(
+                SPAN_HISTOGRAM,
+                {"span": name},
+                help_text="Wall seconds spent inside each traced span.",
+            ).observe(sp.seconds)

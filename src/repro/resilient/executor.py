@@ -37,6 +37,7 @@ from repro.errors import (
     ReproError,
 )
 from repro.observe.registry import MetricsRegistry, get_registry
+from repro.observe.spans import current_trace, span
 from repro.resilient.breaker import BreakerState, CircuitBreaker
 from repro.resilient.retry import RetryPolicy
 
@@ -296,7 +297,15 @@ class ResilientExecutor:
                 self._m_retries.inc()
             failure: Optional[ReproError] = None
             try:
-                result = attempt()
+                # Spans only when a trace is active: a per-attempt span
+                # in every untraced request would add histogram rows the
+                # pre-tracing metric surface never had.
+                if current_trace() is not None:
+                    with span("resilient.attempt", self.registry,
+                              attrs={"attempt": attempts}):
+                        result = attempt()
+                else:
+                    result = attempt()
                 if (policy.validate_outputs and validate is not None
                         and not validate(result)):
                     failure = PlanExecutionError(
@@ -348,7 +357,12 @@ class ResilientExecutor:
                 self._fallbacks[cause] = self._fallbacks.get(cause, 0) + 1
             self._m_fallbacks[cause].inc()
             self.registry.emit("plan_fallback", cause=cause, attempts=attempts)
-            result = fallback()
+            if current_trace() is not None:
+                with span("resilient.fallback", self.registry,
+                          attrs={"cause": cause, "attempts": attempts}):
+                    result = fallback()
+            else:
+                result = fallback()
             return result, ExecutionOutcome(
                 attempts=attempts, degraded=True, cause=cause
             )

@@ -49,8 +49,9 @@ deterministically, after which ``submit`` raises
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Dict, Optional
+from dataclasses import dataclass, replace
+from time import perf_counter
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional
 
 import numpy as np
 
@@ -60,7 +61,10 @@ from repro.device.executor import SimulatedDevice, SpMMResult, SpMVResult
 from repro.errors import DeviceError
 from repro.formats.csr import CSRMatrix
 from repro.observe.registry import MetricsRegistry, get_registry
-from repro.observe.spans import span
+from repro.observe.spans import activate_trace, span
+from repro.trace.context import TraceContext
+from repro.trace.recorder import TraceRecorder
+from repro.trace.slo import SLOMonitor, SLOTarget, TracingPolicy
 from repro.resilient.executor import (
     ResiliencePolicy,
     ResilienceStats,
@@ -142,6 +146,13 @@ class SubmitResult:
     coalesced_width: int = 1
     #: Per-shard breakdown when the server runs sharded, else ``None``.
     shards: Optional[ShardSummary] = None
+    #: This request's trace id when the server traces, else ``None``.
+    #: Pass it to ``TraceRecorder.timeline`` / filter the Chrome export.
+    trace_id: Optional[str] = None
+    #: The coalesced dispatch's own trace id when this request was
+    #: served by a traced, coalesced group (its root span links back to
+    #: every member request, this one included); else ``None``.
+    dispatch_trace_id: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -263,6 +274,16 @@ class SpMVServer:
         Stats note: a coalesced group accounts as *one* batch request
         in :class:`ServerStats` -- per-request counts live in
         ``stats().scheduler``.
+    tracing:
+        Optional :class:`~repro.trace.TracingPolicy`.  When set, every
+        ``submit``/``submit_batch`` runs under a fresh trace: a
+        ``serve.request`` root span plus every stage, shard-worker,
+        retry-attempt and device-dispatch span lands in
+        :attr:`trace_recorder` (exportable as Chrome trace-event JSON
+        or a plain-text timeline), and request latency feeds
+        :attr:`slo` (windowed p50/p95/p99 quantile gauges, breach
+        counters, ``health_snapshot()``).  ``None`` (default) keeps the
+        hot path untraced: no context, no recorder, no extra work.
     """
 
     def __init__(
@@ -277,6 +298,7 @@ class SpMVServer:
         resilience: Optional[ResiliencePolicy] = None,
         sharding: Optional[ShardingPolicy] = None,
         scheduler: Optional[CoalescePolicy] = None,
+        tracing: Optional[TracingPolicy] = None,
     ):
         if planner is not None:
             self._planner: Planner = planner
@@ -301,6 +323,19 @@ class SpMVServer:
             if resilience is not None and sharding is None else None
         )
         self.max_rhs = max_rhs
+        self.tracing = tracing
+        self.trace_recorder: Optional[TraceRecorder] = None
+        self.slo: Optional[SLOMonitor] = None
+        if tracing is not None:
+            self.trace_recorder = TraceRecorder(
+                capacity=tracing.recorder_capacity
+            )
+            self.slo = SLOMonitor(
+                tracing.slo if tracing.slo is not None else SLOTarget(),
+                window=tracing.latency_window,
+                registry=self.registry,
+                refresh_every=tracing.refresh_every,
+            )
         self._closed = False
         # Imported lazily: repro.shard.executor/scheduler import the
         # serve layer, so importing them at module scope would close an
@@ -517,12 +552,59 @@ class SpMVServer:
             degraded=group.degraded,
             coalesced_width=scheduled.width,
             shards=group.shards,
+            dispatch_trace_id=scheduled.dispatch_trace_id,
         )
+
+    # -- tracing ---------------------------------------------------------
+    def _traced_request(
+        self, kind: str, fn: Callable[[], SubmitResult]
+    ) -> SubmitResult:
+        """Run one request under a fresh trace and feed the SLO monitor.
+
+        Opens a new trace context (root ``serve.request`` span) for the
+        whole request -- every stage span, shard-worker span, retry
+        attempt and device dispatch recorded while it is active joins
+        this request's trace.  Request wall latency is observed into
+        the SLO monitor whether the request succeeds or raises (a
+        failing request is still a served latency).
+        """
+        ctx = TraceContext.root(self.trace_recorder)
+        t0 = perf_counter()
+        try:
+            with activate_trace(ctx):
+                with span("serve.request", self.registry,
+                          attrs={"kind": kind}):
+                    result = fn()
+        finally:
+            if self.slo is not None:
+                self.slo.observe(perf_counter() - t0)
+        return replace(result, trace_id=ctx.trace_id)
+
+    def health_snapshot(self) -> Dict[str, Any]:
+        """The SLO monitor's point-in-time health (tracing servers only).
+
+        Raises
+        ------
+        DeviceError
+            When the server was built without a tracing policy.
+        """
+        if self.slo is None:
+            raise DeviceError(
+                "health_snapshot() requires tracing=TracingPolicy(...)"
+            )
+        return self.slo.health_snapshot()
 
     # -- serving ---------------------------------------------------------
     def submit(self, matrix: CSRMatrix, x: np.ndarray) -> SubmitResult:
         """Serve one SpMV request: fingerprint, plan-or-hit, execute."""
         self._check_open()
+        if self.trace_recorder is not None:
+            return self._traced_request(
+                "single", lambda: self._submit_inner(matrix, x)
+            )
+        return self._submit_inner(matrix, x)
+
+    def _submit_inner(self, matrix: CSRMatrix, x: np.ndarray) -> SubmitResult:
         if self._scheduler is not None:
             return self._coalesced_submit(matrix, x)
         x = self._validate_rhs(matrix, x, batch=False)
@@ -583,6 +665,10 @@ class SpMVServer:
         :func:`~repro.serve.batch.run_plan_spmm`).
         """
         self._check_open()
+        if self.trace_recorder is not None:
+            return self._traced_request(
+                "batch", lambda: self._direct_submit_batch(matrix, X)
+            )
         return self._direct_submit_batch(matrix, X)
 
     def _direct_submit_batch(

@@ -42,7 +42,8 @@ from repro.device.executor import SimulatedDevice, SpMMResult, SpMVResult
 from repro.errors import DeviceError
 from repro.formats.csr import CSRMatrix
 from repro.observe.registry import MetricsRegistry, get_registry
-from repro.observe.spans import span
+from repro.observe.spans import activate_trace, span
+from repro.trace.context import TraceContext, capture_context
 from repro.resilient.executor import ResiliencePolicy, ResilientExecutor
 from repro.resilient.faults import unwrap_device
 from repro.serve.batch import run_plan_spmm, run_plan_spmv
@@ -369,8 +370,38 @@ class ShardedExecutor:
         *,
         batch: bool,
         max_rhs: Optional[int],
+        trace_ctx: Optional[TraceContext] = None,
     ) -> _ShardOutcome:
-        """Execute one shard on its own device (worker-thread body)."""
+        """Execute one shard on its own device (worker-thread body).
+
+        ``trace_ctx`` is the submitting request's trace, captured on
+        the submitting thread; activating it here parents this worker's
+        spans to the request's ``shard.execute`` stage across the
+        thread boundary.
+        """
+        if trace_ctx is not None:
+            d = shard.descriptor
+            with activate_trace(trace_ctx):
+                with span("shard.worker", self.registry,
+                          attrs={"shard": d.shard_id,
+                                 "rows": d.row_hi - d.row_lo}):
+                    return self._execute_shard(
+                        index, shard, plan, rhs, batch=batch, max_rhs=max_rhs
+                    )
+        return self._execute_shard(
+            index, shard, plan, rhs, batch=batch, max_rhs=max_rhs
+        )
+
+    def _execute_shard(
+        self,
+        index: int,
+        shard: Shard,
+        plan: ExecutionPlan,
+        rhs: np.ndarray,
+        *,
+        batch: bool,
+        max_rhs: Optional[int],
+    ) -> _ShardOutcome:
         device = self.devices[index % len(self.devices)]
 
         def _tuned():
@@ -447,10 +478,13 @@ class ShardedExecutor:
         with span("shard.plan", self.registry):
             plans, all_hit = self._plan_shards(shards)
         with span("shard.execute", self.registry):
+            # Captured inside the stage span so worker spans parent to
+            # it (not to the whole request) across the thread hop.
+            ctx = capture_context()
             futures = [
                 pool.submit(
                     self._run_shard, i, shard, plan, rhs,
-                    batch=batch, max_rhs=max_rhs,
+                    batch=batch, max_rhs=max_rhs, trace_ctx=ctx,
                 )
                 for i, (shard, plan) in enumerate(zip(shards, plans))
             ]

@@ -39,7 +39,9 @@ import numpy as np
 from repro.errors import DeviceError, QueueFullError
 from repro.formats.csr import CSRMatrix
 from repro.observe.registry import MetricsRegistry, get_registry
+from repro.observe.spans import activate_trace, span
 from repro.serve.fingerprint import fingerprint_matrix
+from repro.trace.context import TraceContext, capture_context
 from repro.utils.validation import check_spmv_operand
 
 __all__ = [
@@ -110,6 +112,9 @@ class ScheduledResult:
     width: int
     #: Why the group flushed: ``"full"``, ``"window"`` or ``"close"``.
     cause: str
+    #: Trace id of the shared dispatch trace (the fan-in trace linking
+    #: every member request), when any member was traced; else ``None``.
+    dispatch_trace_id: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -152,7 +157,7 @@ class _Group:
     """One open coalescing group: same matrix, accumulating columns."""
 
     __slots__ = ("matrix", "xs", "deadline", "done", "result", "error",
-                 "cause")
+                 "cause", "member_refs", "recorder", "dispatch_trace_id")
 
     def __init__(self, matrix: CSRMatrix, deadline: float):
         self.matrix = matrix
@@ -162,6 +167,12 @@ class _Group:
         self.result: Any = None
         self.error: Optional[BaseException] = None
         self.cause = ""
+        #: ``(trace_id, span_id)`` of each traced member's request span;
+        #: the flush's fan-in dispatch trace links back to all of them.
+        self.member_refs: List[Tuple[str, str]] = []
+        #: The traced members' recorder (they share the server's).
+        self.recorder: Any = None
+        self.dispatch_trace_id: Optional[str] = None
 
 
 def _coalesce_key(matrix: CSRMatrix) -> Tuple[Any, bytes]:
@@ -281,6 +292,10 @@ class RequestScheduler:
         same exception).
         """
         x = check_spmv_operand(matrix.ncols, x)
+        # Snapshot this thread's trace before queueing: the group may
+        # flush on any member's thread (or the dispatcher's), and the
+        # fan-in dispatch trace must link back to every member request.
+        member_ctx = capture_context()
         to_flush: Optional[_Group] = None
         with self._cond:
             if self._closed:
@@ -306,6 +321,11 @@ class RequestScheduler:
                 self._cond.notify_all()  # dispatcher: new deadline to watch
             column = len(group.xs)
             group.xs.append(x)
+            if member_ctx is not None and member_ctx.span_id is not None:
+                group.member_refs.append(
+                    (member_ctx.trace_id, member_ctx.span_id)
+                )
+                group.recorder = member_ctx.recorder
             self._pending += 1
             self._submitted += 1
             self._m_requests["accepted"].inc()
@@ -316,7 +336,12 @@ class RequestScheduler:
                 to_flush = group
         if to_flush is not None:
             self._flush(to_flush, "full")
-        group.done.wait()
+        if member_ctx is not None:
+            with span("scheduler.wait", self.registry,
+                      attrs={"column": column}):
+                group.done.wait()
+        else:
+            group.done.wait()
         if group.error is not None:
             raise group.error
         return ScheduledResult(
@@ -324,6 +349,7 @@ class RequestScheduler:
             column=column,
             width=len(group.xs),
             cause=group.cause,
+            dispatch_trace_id=group.dispatch_trace_id,
         )
 
     # -- flushing --------------------------------------------------------
@@ -333,7 +359,7 @@ class RequestScheduler:
         group.cause = cause
         try:
             X = np.stack(group.xs, axis=1)
-            group.result = self._execute(group.matrix, X)
+            group.result = self._dispatch(group, X, cause)
         except BaseException as exc:
             group.error = exc
         with self._cond:
@@ -345,6 +371,27 @@ class RequestScheduler:
         self._m_batches[cause].inc()
         self._m_width.observe(width)
         group.done.set()
+
+    def _dispatch(self, group: _Group, X: np.ndarray, cause: str) -> Any:
+        """Execute one flushed group, under a fan-in trace when traced.
+
+        N member requests share this one dispatch, so no single member
+        trace can own it: the dispatch gets its *own* trace whose root
+        span links to every member's request span (``member_refs``).
+        Activation swaps in a fresh span stack -- the flush may run
+        inline on a member's thread, mid-way through that member's own
+        ``serve.request`` span, and must not nest under it.
+        """
+        if not group.member_refs or group.recorder is None:
+            return self._execute(group.matrix, X)
+        links = tuple(group.member_refs)
+        ctx = TraceContext.root(group.recorder, links=links)
+        group.dispatch_trace_id = ctx.trace_id
+        with activate_trace(ctx):
+            with span("scheduler.dispatch", self.registry,
+                      attrs={"width": len(group.xs), "cause": cause},
+                      links=links):
+                return self._execute(group.matrix, X)
 
     def _dispatch_loop(self) -> None:
         """Dispatcher thread: flush groups whose wait window expired."""

@@ -1,0 +1,163 @@
+"""Trace contexts: explicit request identity that crosses threads.
+
+The observe layer's spans nest per thread; the serving stack does not
+stay on one thread -- shard workers execute on a pool, the coalescing
+scheduler dispatches a group on whichever thread filled or expired it.
+A :class:`TraceContext` is the identity that travels: the request's
+``trace_id``, the span to parent under, and the recorder completed
+spans land in.  It is the concrete implementation of the protocol
+:func:`repro.observe.spans.activate_trace` expects.
+
+Propagation patterns:
+
+- **root**: :meth:`TraceContext.root` opens a new trace for an incoming
+  request; the server activates it around the whole submit.
+- **capture**: :func:`capture_context` snapshots the active trace plus
+  the innermost open span *on the submitting thread*; handed to a
+  worker thread and re-activated there, the worker's spans parent to
+  the submitting stage across the thread boundary.
+- **fan-in**: :meth:`TraceContext.root` with ``links`` opens a new
+  trace for a shared dispatch (one coalesced group) that references
+  every member request's trace -- N requests, one dispatch, no lost
+  edges.
+
+Span/trace ids are drawn from a process-global counter (not random):
+deterministic under a fixed workload, cheap, and collision-free by
+construction.  :func:`reset_ids` rewinds the counter for golden tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple
+
+from repro.observe.spans import Span, current_span, current_trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.trace.recorder import TraceRecorder
+
+__all__ = ["TraceContext", "capture_context", "reset_ids"]
+
+_ids_lock = threading.Lock()
+_trace_ids = itertools.count(1)
+_span_ids = itertools.count(1)
+
+
+def _next_trace_id() -> str:
+    with _ids_lock:
+        return f"t{next(_trace_ids):08x}"
+
+
+def _next_span_id() -> str:
+    with _ids_lock:
+        return f"s{next(_span_ids):08x}"
+
+
+def reset_ids() -> None:
+    """Rewind the id counters (golden-output tests only)."""
+    global _trace_ids, _span_ids
+    with _ids_lock:
+        _trace_ids = itertools.count(1)
+        _span_ids = itertools.count(1)
+
+
+class TraceContext:
+    """One trace's propagation handle.
+
+    Attributes
+    ----------
+    trace_id:
+        Identity of the trace every span opened under this context
+        joins.
+    span:
+        The carried parent :class:`~repro.observe.spans.Span` -- spans
+        opened on a thread where this context is active (and whose own
+        stack is empty) parent to it.  ``None`` for a fresh root.
+    span_id:
+        The carried parent's span id (kept separately so a context can
+        parent to a span that has already closed).
+    recorder:
+        The :class:`~repro.trace.recorder.TraceRecorder` completed
+        spans are recorded into.
+    links:
+        ``(trace_id, span_id)`` references this context's *root* span
+        fans in from (used by the coalesced dispatch).
+    """
+
+    __slots__ = ("trace_id", "span", "span_id", "recorder", "links")
+
+    def __init__(
+        self,
+        trace_id: str,
+        recorder: "TraceRecorder",
+        *,
+        span: Optional[Span] = None,
+        span_id: Optional[str] = None,
+        links: Sequence[Tuple[str, str]] = (),
+    ):
+        self.trace_id = trace_id
+        self.recorder = recorder
+        self.span = span
+        self.span_id = span_id if span_id is not None else (
+            span.span_id if span is not None else None
+        )
+        self.links = tuple(links)
+
+    # -- construction ----------------------------------------------------
+    @classmethod
+    def root(
+        cls,
+        recorder: "TraceRecorder",
+        *,
+        links: Sequence[Tuple[str, str]] = (),
+    ) -> "TraceContext":
+        """A fresh trace (new ``trace_id``, no parent span)."""
+        return cls(_next_trace_id(), recorder, links=links)
+
+    def child(self, span: Span) -> "TraceContext":
+        """This trace, re-parented under ``span`` (cross-thread handoff)."""
+        return TraceContext(
+            self.trace_id, self.recorder, span=span, span_id=span.span_id
+        )
+
+    # -- protocol used by repro.observe.spans ----------------------------
+    def new_span_id(self) -> str:
+        """Allocate the next process-unique span id."""
+        return _next_span_id()
+
+    def record(self, span: Span) -> None:
+        """Receive one completed span from the observe layer."""
+        self.recorder.record_span(span)
+
+    # -- identity --------------------------------------------------------
+    @property
+    def ref(self) -> Tuple[str, Optional[str]]:
+        """``(trace_id, carried span_id)`` -- the linkable identity."""
+        return (self.trace_id, self.span_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TraceContext({self.trace_id!r}, span_id={self.span_id!r}, "
+            f"links={len(self.links)})"
+        )
+
+
+def capture_context() -> Optional[TraceContext]:
+    """Snapshot the active trace + innermost span for a thread handoff.
+
+    Returns ``None`` when no trace is active (tracing off) -- callers
+    skip activation entirely, keeping the untraced path branch-cheap.
+    The returned context, activated on a worker thread, parents that
+    thread's spans to the span that was open on *this* thread at
+    capture time.
+    """
+    ctx = current_trace()
+    if ctx is None:
+        return None
+    sp = current_span()
+    if sp is None or sp.span_id is None:
+        return TraceContext(
+            ctx.trace_id, ctx.recorder, span=ctx.span, span_id=ctx.span_id
+        )
+    return ctx.child(sp)

@@ -1,0 +1,211 @@
+"""SLO monitoring: latency objectives, breach counters, health.
+
+An SLO here is a latency bound per quantile -- "p99 under 50 ms" --
+checked two ways:
+
+- **per request**: every observed latency above an objective's bound
+  increments that objective's breach counter (requests that personally
+  violated the bound; monotonic, alert-friendly);
+- **per window**: :meth:`SLOMonitor.health_snapshot` evaluates the
+  *current* windowed quantiles against the bounds and reports
+  ``ok`` / ``breached`` with the offending objectives listed.
+
+The monitor also publishes the windowed quantiles as registry gauges
+(``serve_latency_quantile_seconds{quantile="p99"}``) so both the
+Prometheus text and JSON exporters carry them; gauges refresh every
+``refresh_every`` observations (computing three quantiles per request
+would tax the hot path for no alerting benefit) and always on
+:meth:`health_snapshot`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.observe.registry import MetricsRegistry, get_registry
+from repro.trace.quantiles import SlidingQuantiles
+
+__all__ = ["SLOTarget", "SLOMonitor", "TracingPolicy"]
+
+#: The monitored quantiles, as (label, q) pairs.
+_QUANTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+
+
+@dataclass(frozen=True)
+class SLOTarget:
+    """Latency bounds in seconds per quantile; ``None`` = not bound."""
+
+    p50: Optional[float] = None
+    p95: Optional[float] = None
+    p99: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        for name in ("p50", "p95", "p99"):
+            bound = getattr(self, name)
+            if bound is not None and bound <= 0:
+                raise ValueError(f"{name} bound must be > 0, got {bound}")
+
+    def bounds(self) -> Dict[str, float]:
+        """The set objectives as ``{"p99": seconds, ...}``."""
+        return {
+            name: getattr(self, name)
+            for name, _ in _QUANTILES
+            if getattr(self, name) is not None
+        }
+
+
+@dataclass(frozen=True)
+class TracingPolicy:
+    """How a server should trace: one object to pass to ``SpMVServer``.
+
+    ``SpMVServer(tracing=TracingPolicy())`` turns tracing on with
+    defaults; no policy (the default) keeps the hot path untraced and
+    allocation-free.
+    """
+
+    #: Completed spans retained by the server's recorder ring.
+    recorder_capacity: int = 4096
+    #: Sliding-window width of the latency quantile estimator.
+    latency_window: int = 512
+    #: Latency objectives; ``None`` = quantile gauges only.
+    slo: Optional[SLOTarget] = None
+    #: Quantile-gauge refresh cadence, in observations.
+    refresh_every: int = 16
+
+    def __post_init__(self) -> None:
+        if self.recorder_capacity <= 0:
+            raise ValueError(
+                f"recorder_capacity must be > 0, got {self.recorder_capacity}"
+            )
+
+
+class SLOMonitor:
+    """Feeds latencies into quantiles, counts breaches, reports health.
+
+    Parameters
+    ----------
+    target:
+        Latency objectives; an empty :class:`SLOTarget` still gives
+        windowed quantile gauges, just no breach accounting.
+    window:
+        Sliding-window width of the quantile estimator.
+    registry:
+        Metrics registry for the quantile gauges and breach counters.
+    refresh_every:
+        Recompute the quantile gauges every this many observations.
+    """
+
+    def __init__(
+        self,
+        target: SLOTarget = SLOTarget(),
+        *,
+        window: int = 512,
+        registry: Optional[MetricsRegistry] = None,
+        refresh_every: int = 16,
+    ):
+        if refresh_every <= 0:
+            raise ValueError(
+                f"refresh_every must be > 0, got {refresh_every}"
+            )
+        self.target = target
+        self.registry = get_registry() if registry is None else registry
+        self.refresh_every = int(refresh_every)
+        self._quantiles = SlidingQuantiles(window=window)
+        self._lock = threading.Lock()
+        self._breaches: Dict[str, int] = {
+            name: 0 for name in target.bounds()
+        }
+        self._since_refresh = 0
+        self._m_quantile = {
+            name: self.registry.gauge(
+                "serve_latency_quantile_seconds", {"quantile": name},
+                help_text="Windowed request-latency quantiles "
+                          "(sliding window, wall seconds).",
+            )
+            for name, _ in _QUANTILES
+        }
+        self._m_breaches = {
+            name: self.registry.counter(
+                "slo_breaches_total", {"objective": name},
+                help_text="Requests whose latency exceeded the "
+                          "objective's bound.",
+            )
+            for name in target.bounds()
+        }
+
+    # -- feeding ---------------------------------------------------------
+    def observe(self, seconds: float) -> None:
+        """Record one request latency; account per-request breaches."""
+        self._quantiles.observe(seconds)
+        for name, bound in self.target.bounds().items():
+            if seconds > bound:
+                with self._lock:
+                    self._breaches[name] += 1
+                self._m_breaches[name].inc()
+        with self._lock:
+            self._since_refresh += 1
+            refresh = self._since_refresh >= self.refresh_every
+            if refresh:
+                self._since_refresh = 0
+        if refresh:
+            self._refresh_gauges()
+
+    def _refresh_gauges(self) -> None:
+        values = self._quantiles.quantiles([q for _, q in _QUANTILES])
+        for name, q in _QUANTILES:
+            value = values[q]
+            if value == value:  # skip NaN (empty window)
+                self._m_quantile[name].set(value)
+
+    # -- reporting -------------------------------------------------------
+    @property
+    def breaches(self) -> Dict[str, int]:
+        """Per-objective breach counts so far."""
+        with self._lock:
+            return dict(self._breaches)
+
+    def quantile(self, q: float) -> float:
+        """Current windowed ``q``-quantile (seconds; NaN when empty)."""
+        return self._quantiles.quantile(q)
+
+    def health_snapshot(self) -> Dict[str, object]:
+        """Point-in-time health: quantiles vs bounds, breach counts."""
+        self._refresh_gauges()
+        values = self._quantiles.quantiles([q for _, q in _QUANTILES])
+        quantiles = {
+            name: values[q] for name, q in _QUANTILES
+        }
+        bounds = self.target.bounds()
+        breaching = sorted(
+            name for name, bound in bounds.items()
+            if quantiles[name] == quantiles[name] and quantiles[name] > bound
+        )
+        return {
+            "status": "breached" if breaching else "ok",
+            "breaching": breaching,
+            "quantiles": quantiles,
+            "targets": bounds,
+            "breaches": self.breaches,
+            "window": len(self._quantiles),
+            "observed": self._quantiles.observed,
+        }
+
+    def describe(self) -> str:
+        """Readable health summary (CLI / logs)."""
+        snap = self.health_snapshot()
+        parts = []
+        for name, _ in _QUANTILES:
+            value = snap["quantiles"][name]  # type: ignore[index]
+            text = "n/a" if value != value else f"{value * 1e3:.3f} ms"
+            bound = snap["targets"].get(name)  # type: ignore[union-attr]
+            if bound is not None:
+                text += (f" (bound {bound * 1e3:.1f} ms, "
+                         f"{snap['breaches'][name]} breaches)")  # type: ignore[index]
+            parts.append(f"  {name:<4s}: {text}")
+        return "\n".join([
+            f"SLO status         : {snap['status']} "
+            f"(window {snap['window']}, {snap['observed']} observed)",
+            *parts,
+        ])

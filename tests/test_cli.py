@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -130,6 +132,39 @@ class TestCommands:
     def test_serve_demo_parser_defaults(self):
         args = build_parser().parse_args(["serve-demo"])
         assert args.batch == 8 and args.cache_capacity == 32
+        assert args.trace is False and args.trace_out is None
+
+    def test_serve_demo_traced(self, tmp_path, capsys):
+        out_path = tmp_path / "trace.json"
+        code = main(
+            ["serve-demo", "--matrices", "2", "--size", "400",
+             "--requests", "6", "--batches", "1", "--batch", "4",
+             "--trace", "--trace-out", str(out_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "--- traces" in out
+        assert "serve.request" in out
+        assert "SLO health:" in out
+        doc = json.loads(out_path.read_text())
+        assert doc["traceEvents"]
+
+    def test_trace_profile_heuristic(self, capsys):
+        code = main(["trace", "--matrix", "power_law:400"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "kernel profile" in out
+        assert "bandwidth" in out or "compute" in out or "latency" in out
+
+    def test_trace_sweep_writes_json(self, tmp_path, capsys):
+        out_path = tmp_path / "profile.json"
+        code = main(["trace", "--matrix", "banded:300", "--sweep",
+                     "--out", str(out_path)])
+        assert code == 0
+        doc = json.loads(out_path.read_text())
+        assert doc["dispatches"]
+        assert {"kernel", "granularity", "roofline_efficiency"} \
+            <= set(doc["dispatches"][0])
 
     def test_train_empty_mtx_dir(self, tmp_path):
         with pytest.raises(SystemExit):

@@ -116,6 +116,24 @@ class TestRegistry:
         reg.emit("cache_eviction")
         assert len(sink.events) == 2
 
+    def test_recording_sink_bounded_ring(self):
+        sink = RecordingSink(max_events=3)
+        reg = MetricsRegistry()
+        reg.add_event_sink(sink)
+        for i in range(7):
+            reg.emit("tick", i=i)
+        assert [e.fields["i"] for e in sink.events] == [4, 5, 6]
+        assert sink.dropped == 4
+
+    def test_recording_sink_unbounded_by_default(self):
+        sink = RecordingSink()
+        reg = MetricsRegistry()
+        reg.add_event_sink(sink)
+        for i in range(300):
+            reg.emit("tick", i=i)
+        assert len(sink.events) == 300
+        assert sink.dropped == 0
+
 
 class TestSpans:
     def test_nesting_and_paths(self):
