@@ -1,22 +1,30 @@
 """BENCH-SERVING: unsharded vs sharded vs coalesced serving throughput.
 
 Seeds the serving-layer perf trajectory: one seeded workload (repeated
-single-RHS traffic over a few sparsity patterns) is served three ways --
+single-RHS traffic over a few sparsity patterns) is served four ways --
 
 - **unsharded**: the plain ``SpMVServer`` hot path, sequential submits;
-- **sharded**: ``sharding=ShardingPolicy(n_shards=4)`` -- each request
-  executes as 4 nnz-balanced row-shards on concurrent devices, so the
-  accounted simulated time per request is the shard *makespan*;
+- **sharded** (thread backend): ``ShardingPolicy(n_shards=4)`` -- each
+  request executes as 4 nnz-balanced row-shards on concurrent devices,
+  so the accounted simulated time per request is the shard *makespan*.
+  Its *wall* throughput regresses vs unsharded (GIL-bound pure-Python
+  shard work serialises; the regression is kept on record here);
+- **sharded_process** (process backend): the same policy over a
+  ``ProcessPoolExecutor`` with the CSR row-blocks published once per
+  structure in ``multiprocessing.shared_memory`` -- only plan + shard
+  descriptors cross the pickle boundary, and warm requests reuse
+  worker-side bound plans.  This one must win in *wall clock* too;
 - **coalesced**: ``scheduler=CoalescePolicy(...)`` with concurrent
   clients -- same-matrix requests share one multi-RHS dispatch, paying
   the per-dispatch overhead once per batch instead of once per vector.
 
 Two readings per configuration land in
-``benchmarks/results/BENCH_serving.json``: wall requests/sec (real, but
-host-dependent) and total *simulated* seconds from the server's
-accounting (deterministic; what the acceptance gate checks).  Both
-sharding (makespan < single-device time) and coalescing (batched
-overhead amortisation) must beat the unsharded simulated baseline.
+``benchmarks/results/BENCH_serving.json``: wall requests/sec + p50/95/99
+latency (real, host-dependent) and total *simulated* seconds from the
+server's accounting (deterministic).  The acceptance gates: sharding
+(makespan < single-device time) and coalescing (batched overhead
+amortisation) beat the unsharded *simulated* baseline, and the process
+backend's *wall* p50 undercuts the unsharded wall p50.
 """
 
 from __future__ import annotations
@@ -40,8 +48,13 @@ RESULTS_PATH = (
 
 #: Seeded workload: a few patterns, many repeats (plan-cache-friendly
 #: solver-style traffic where serving optimisations should pay off).
+#: Sized so per-request device work dominates fixed submit overhead --
+#: on narrow hosts the process backend's IPC round trip costs a few
+#: hundred microseconds, and the win it is gated on (worker-side
+#: memoised plan binding + accounting vs the unsharded path re-pricing
+#: every dispatch per request) only shows once requests cost milliseconds.
 N_MATRICES = 3
-N_ROWS = 3_000
+N_ROWS = 20_000
 N_REQUESTS = 96
 SEED = 0
 
@@ -125,6 +138,13 @@ def run_serving_benchmark() -> dict:
         ),
         requests,
     )
+    sharded_process = _drive(
+        SpMVServer(
+            registry=NULL_REGISTRY,
+            sharding=ShardingPolicy(n_shards=SHARDS, backend="process"),
+        ),
+        requests,
+    )
     coalesced = _drive(
         SpMVServer(
             registry=NULL_REGISTRY,
@@ -147,12 +167,24 @@ def run_serving_benchmark() -> dict:
         },
         "configs": {
             "unsharded": unsharded,
-            "sharded": {**sharded, "n_shards": SHARDS},
+            "sharded": {**sharded, "n_shards": SHARDS, "backend": "thread"},
+            "sharded_process": {
+                **sharded_process, "n_shards": SHARDS, "backend": "process",
+            },
             "coalesced": {**coalesced, "max_batch": COALESCE_WIDTH},
         },
         "simulated_speedup_vs_unsharded": {
             "sharded": base / sharded["simulated_seconds"],
+            "sharded_process": base / sharded_process["simulated_seconds"],
             "coalesced": base / coalesced["simulated_seconds"],
+        },
+        "wall_p50_speedup_vs_unsharded": {
+            "sharded": (unsharded["wall_latency_quantiles"]["p50"]
+                        / sharded["wall_latency_quantiles"]["p50"]),
+            "sharded_process": (
+                unsharded["wall_latency_quantiles"]["p50"]
+                / sharded_process["wall_latency_quantiles"]["p50"]
+            ),
         },
     }
 
@@ -169,7 +201,13 @@ def test_serving_throughput_comparison():
     result = run_serving_benchmark()
     speedup = result["simulated_speedup_vs_unsharded"]
     assert speedup["sharded"] > 1.0
+    assert speedup["sharded_process"] > 1.0
     assert speedup["coalesced"] > 1.0
+    # The process backend must also win where the thread backend cannot:
+    # real wall clock.  Warm requests skip fingerprint hashing (identity
+    # cache), reuse worker-side bound plans, and cross the IPC boundary
+    # once -- that has to undercut the full unsharded submit path.
+    assert result["wall_p50_speedup_vs_unsharded"]["sharded_process"] > 1.0
     # Coalescing genuinely batched (width > 1 on average).
     assert result["configs"]["coalesced"]["mean_batch_width"] > 1.0
     # The per-stage breakdown is present and ordered (p50 <= p99).

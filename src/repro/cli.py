@@ -250,8 +250,14 @@ def _build_demo_server(args: argparse.Namespace) -> SpMVServer:
     n_shards = getattr(args, "shards", 0)
     if n_shards:
         strategy = PartitionStrategy(getattr(args, "shard_strategy", "nnz"))
-        sharding = ShardingPolicy(n_shards=n_shards, strategy=strategy)
-        print(f"sharding: {n_shards} shards, {strategy.value}-balanced")
+        backend = getattr(args, "backend", "thread")
+        sharding = ShardingPolicy(
+            n_shards=n_shards, strategy=strategy, backend=backend,
+        )
+        print(f"sharding: {n_shards} shards, {strategy.value}-balanced, "
+              f"{sharding.backend.value} backend")
+    elif getattr(args, "backend", "thread") != "thread":
+        print(f"note: --backend {args.backend} has no effect without --shards")
     scheduler = None
     if getattr(args, "coalesce", False):
         scheduler = CoalescePolicy(
@@ -487,6 +493,12 @@ def build_parser() -> argparse.ArgumentParser:
                          default="nnz",
                          help="row-shard balancing: equal rows or "
                               "equal non-zeros (default nnz)")
+    p_serve.add_argument("--backend", choices=("inline", "thread", "process"),
+                         default="thread",
+                         help="shard execution backend: inline (sequential "
+                              "baseline), thread (pool, GIL-bound), or "
+                              "process (worker pool over shared-memory "
+                              "row-blocks; default thread)")
     p_serve.add_argument("--coalesce", action="store_true",
                          help="coalesce concurrent same-matrix submits "
                               "into one multi-RHS dispatch")

@@ -28,7 +28,12 @@ from repro.serve.batch import (
     run_plan_spmm,
     run_plan_spmv,
 )
-from repro.serve.fingerprint import MatrixFingerprint, fingerprint_matrix
+from repro.serve.fingerprint import (
+    FingerprintCache,
+    FingerprintCacheStats,
+    MatrixFingerprint,
+    fingerprint_matrix,
+)
 from repro.serve.plan_cache import CacheStats, PlanCache
 from repro.serve.server import (
     ServerStats,
@@ -40,6 +45,8 @@ from repro.serve.server import (
 __all__ = [
     "MatrixFingerprint",
     "fingerprint_matrix",
+    "FingerprintCache",
+    "FingerprintCacheStats",
     "CacheStats",
     "PlanCache",
     "run_plan_spmv",

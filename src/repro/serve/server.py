@@ -72,7 +72,11 @@ from repro.resilient.executor import (
 )
 from repro.resilient.faults import unwrap_device
 from repro.serve.batch import run_plan_spmm, run_plan_spmv
-from repro.serve.fingerprint import MatrixFingerprint, fingerprint_matrix
+from repro.serve.fingerprint import (
+    FingerprintCache,
+    FingerprintCacheStats,
+    MatrixFingerprint,
+)
 from repro.serve.plan_cache import CacheStats, PlanCache
 from repro.utils.validation import check_spmm_operand, check_spmv_operand
 
@@ -180,6 +184,8 @@ class ServerStats:
     scheduler: Optional[SchedulerStats] = None
     #: Sharding accounting; ``None`` without a ``sharding=`` policy.
     shards: Optional[ShardExecutorStats] = None
+    #: Fingerprint identity-cache accounting (hash-skip fast path).
+    fingerprints: Optional[FingerprintCacheStats] = None
 
     @property
     def hit_rate(self) -> float:
@@ -199,6 +205,12 @@ class ServerStats:
             f"({self.kernel_launches} kernel launches)",
             f"simulated exec time: {self.simulated_seconds * 1e3:.3f} ms",
         ]
+        if self.fingerprints is not None:
+            lines.append(
+                f"fingerprint cache  : {self.fingerprints.identity_hits} "
+                f"identity hits / {self.fingerprints.hashes} hashes "
+                f"(hit rate {self.fingerprints.hit_rate:.1%})"
+            )
         for stage in ("fingerprint", "plan", "execute"):
             lines.append(
                 f"  {stage + ' stage':<17s}: "
@@ -315,6 +327,9 @@ class SpMVServer:
             self.device = SimulatedDevice(registry=self.registry)
         self.cache = PlanCache(capacity=cache_capacity,
                                registry=self.registry)
+        # Identity fast path: resubmitting the same matrix *object*
+        # (solver traffic) skips structural hashing entirely.
+        self._fingerprints = FingerprintCache()
         self.resilience = resilience
         # With sharding, resilience applies per shard inside the sharded
         # executor; wrapping here too would retry every request twice.
@@ -363,6 +378,7 @@ class SpMVServer:
             self._scheduler = RequestScheduler(
                 self._direct_submit_batch, scheduler,
                 registry=self.registry,
+                fingerprint=self._fingerprints.fingerprint,
             )
         self._lock = threading.RLock()
         self._requests = 0
@@ -445,7 +461,7 @@ class SpMVServer:
         self, matrix: CSRMatrix
     ) -> tuple[ExecutionPlan, MatrixFingerprint, bool]:
         with span("serve.fingerprint", self.registry) as sp_fp:
-            fp = fingerprint_matrix(matrix)
+            fp = self._fingerprints.fingerprint(matrix)
         with span("serve.plan", self.registry) as sp_plan:
             plan, hit = self.cache.get_or_build(
                 fp, lambda: self._planner(matrix)
@@ -504,16 +520,17 @@ class SpMVServer:
     ) -> SubmitResult:
         """Serve one request through the sharded executor."""
         with span("serve.fingerprint", self.registry) as sp_fp:
-            fp = fingerprint_matrix(matrix)
+            fp = self._fingerprints.fingerprint(matrix)
         with self._lock:
             self._stage_seconds["fingerprint"] += sp_fp.seconds
         self._m_stage["fingerprint"].observe(sp_fp.seconds)
         with span("serve.execute", self.registry) as sp:
             if batch:
                 res = self._sharded.run_spmm(matrix, rhs,
-                                             max_rhs=self.max_rhs)
+                                             max_rhs=self.max_rhs,
+                                             fingerprint=fp)
             else:
-                res = self._sharded.run_spmv(matrix, rhs)
+                res = self._sharded.run_spmv(matrix, rhs, fingerprint=fp)
         self._account(sp.seconds, res.seconds, res.n_dispatches,
                       n_rhs=res.n_rhs, batch=batch)
         return SubmitResult(
@@ -756,8 +773,15 @@ class SpMVServer:
 
     # -- cache control ---------------------------------------------------
     def invalidate(self, matrix: CSRMatrix) -> bool:
-        """Drop the cached plan for this matrix's pattern, if any."""
-        return self.cache.invalidate(fingerprint_matrix(matrix))
+        """Drop the cached plan for this matrix's pattern, if any.
+
+        Also drops the matrix's identity-cache entry, so the next
+        submit of this object re-hashes its (possibly rebuilt)
+        structure instead of trusting the memoised fingerprint.
+        """
+        fp = self._fingerprints.fingerprint(matrix)
+        self._fingerprints.invalidate(matrix)
+        return self.cache.invalidate(fp)
 
     def clear_cache(self) -> None:
         """Drop every cached plan (counters survive)."""
@@ -791,4 +815,5 @@ class SpMVServer:
                     self._sharded.stats()
                     if self._sharded is not None else None
                 ),
+                fingerprints=self._fingerprints.stats(),
             )

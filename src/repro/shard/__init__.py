@@ -44,6 +44,11 @@ __all__ = [
     "ShardedResult",
     "ShardExecutorStats",
     "ShardedExecutor",
+    "ExecutionBackend",
+    "WorkerCrashError",
+    "SharedMatrixStore",
+    "ShardTaskSpec",
+    "ShardRunReport",
     "CoalescePolicy",
     "ScheduledResult",
     "SchedulerStats",
@@ -63,6 +68,13 @@ _SCHEDULER_NAMES = {
     "SchedulerStats",
     "RequestScheduler",
 }
+_BACKEND_NAMES = {
+    "ExecutionBackend",
+    "WorkerCrashError",
+    "SharedMatrixStore",
+    "ShardTaskSpec",
+    "ShardRunReport",
+}
 
 
 def __getattr__(name: str):
@@ -71,6 +83,10 @@ def __getattr__(name: str):
         from repro.shard import executor
 
         return getattr(executor, name)
+    if name in _BACKEND_NAMES:
+        from repro.shard import backend
+
+        return getattr(backend, name)
     if name in _SCHEDULER_NAMES:
         from repro.shard import scheduler
 

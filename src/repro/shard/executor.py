@@ -30,9 +30,9 @@ counter) land in the metrics registry.
 from __future__ import annotations
 
 import threading
-from concurrent.futures import ThreadPoolExecutor
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple, Union
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -42,14 +42,31 @@ from repro.device.executor import SimulatedDevice, SpMMResult, SpMVResult
 from repro.errors import DeviceError
 from repro.formats.csr import CSRMatrix
 from repro.observe.registry import MetricsRegistry, get_registry
-from repro.observe.spans import activate_trace, span
+from repro.observe.spans import activate_trace, span, trace_event
 from repro.trace.context import TraceContext, capture_context
 from repro.resilient.executor import ResiliencePolicy, ResilientExecutor
 from repro.resilient.faults import unwrap_device
 from repro.serve.batch import run_plan_spmm, run_plan_spmv
-from repro.serve.fingerprint import fingerprint_matrix
+from repro.serve.fingerprint import (
+    FingerprintCache,
+    MatrixFingerprint,
+    fingerprint_matrix,
+)
 from repro.serve.plan_cache import CacheStats, PlanCache
-from repro.shard.partition import PartitionStrategy, Shard, make_shards
+from repro.shard.backend import (
+    ExecutionBackend,
+    InlineShardBackend,
+    ProcessShardBackend,
+    ThreadShardBackend,
+    WorkerCrashError,
+)
+from repro.shard.partition import (
+    PartitionStrategy,
+    Shard,
+    ShardDescriptor,
+    extract_row_block,
+    make_shards,
+)
 from repro.utils.validation import check_spmm_operand, check_spmv_operand
 
 __all__ = [
@@ -59,6 +76,9 @@ __all__ = [
     "ShardExecutorStats",
     "ShardedExecutor",
 ]
+
+#: Bound on cached (descriptors, plans) shard sets (process backend).
+_SHARD_SET_CAPACITY = 32
 
 #: Signature of anything that can produce a plan for one shard matrix.
 Planner = Callable[[CSRMatrix], ExecutionPlan]
@@ -85,14 +105,29 @@ class ShardingPolicy:
         Thread-pool width executing shards; defaults to ``n_shards``.
     plan_cache_capacity:
         Bound on cached per-shard plans (keyed by shard fingerprint).
+    backend:
+        Where shard work runs -- ``ExecutionBackend.THREAD`` (default,
+        the legacy pool; faithful simulation accounting, wall-clock
+        GIL-bound), ``INLINE`` (sequential on the caller thread, the
+        differential baseline) or ``PROCESS`` (a process pool over
+        shared-memory CSR blocks -- the wall-clock path).  A string
+        (``"process"``) is accepted and coerced.
+    process_workers:
+        Process-pool width (``PROCESS`` backend only); defaults to
+        ``min(n_shards, os.cpu_count())``.
     """
 
     n_shards: int = 4
     strategy: PartitionStrategy = PartitionStrategy.NNZ
     max_workers: Optional[int] = None
     plan_cache_capacity: int = 256
+    backend: ExecutionBackend = ExecutionBackend.THREAD
+    process_workers: Optional[int] = None
 
     def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "backend", ExecutionBackend.coerce(self.backend)
+        )
         if self.n_shards <= 0:
             raise ValueError(f"n_shards must be > 0, got {self.n_shards}")
         if self.max_workers is not None and self.max_workers <= 0:
@@ -103,6 +138,10 @@ class ShardingPolicy:
             raise ValueError(
                 f"plan_cache_capacity must be > 0, "
                 f"got {self.plan_cache_capacity}"
+            )
+        if self.process_workers is not None and self.process_workers <= 0:
+            raise ValueError(
+                f"process_workers must be > 0, got {self.process_workers}"
             )
 
 
@@ -198,6 +237,18 @@ class _ShardOutcome:
     degraded: bool
 
 
+@dataclass(frozen=True)
+class _ShardContribution:
+    """Backend-neutral per-shard outcome (what the gather consumes)."""
+
+    descriptor: ShardDescriptor
+    y: np.ndarray
+    seconds: float
+    n_dispatches: int
+    attempts: int
+    degraded: bool
+
+
 class ShardedExecutor:
     """Plan and execute row-shards concurrently, one device per shard.
 
@@ -253,7 +304,26 @@ class ShardedExecutor:
             ResilientExecutor(resilience, registry=self.registry)
             if resilience is not None else None
         )
-        self._pool: Optional[ThreadPoolExecutor] = None
+        if policy.backend is ExecutionBackend.PROCESS:
+            self._backend = ProcessShardBackend(
+                n_workers=policy.process_workers,
+                n_shards_hint=policy.n_shards,
+                device_spec=self.devices[0].spec,
+                registry=self.registry,
+            )
+        elif policy.backend is ExecutionBackend.INLINE:
+            self._backend = InlineShardBackend()
+        else:
+            self._backend = ThreadShardBackend(
+                policy.max_workers or policy.n_shards
+            )
+        self._fingerprints = FingerprintCache()
+        # Process backend only: (descriptors, plans) per structural
+        # digest, so a warm request skips partitioning and per-shard
+        # hashing entirely.  Descriptors carry no arrays -- the current
+        # request's values always come from the shared segment (or the
+        # current matrix, on the degraded parent-side path).
+        self._shard_sets: "OrderedDict[str, tuple]" = OrderedDict()
         self._closed = False
         self._lock = threading.Lock()
         self._executions = 0
@@ -301,15 +371,17 @@ class ShardedExecutor:
         self.close()
 
     def close(self) -> None:
-        """Shut the worker pool down permanently (idempotent).
+        """Shut the execution backend down permanently (idempotent).
 
-        A closed executor raises :class:`~repro.errors.DeviceError` on
-        further ``run_spmv``/``run_spmm`` calls -- use-after-close is a
-        caller bug, mirroring :class:`~repro.device.cpu.CPUExecutor`.
+        For the thread backend this joins the worker pool; for the
+        process backend it also unlinks every published shared-memory
+        segment (leak-free teardown -- attaching one of its segment
+        names afterwards raises ``FileNotFoundError``).  A closed
+        executor raises :class:`~repro.errors.DeviceError` on further
+        ``run_spmv``/``run_spmm`` calls -- use-after-close is a caller
+        bug, mirroring :class:`~repro.device.cpu.CPUExecutor`.
         """
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        self._backend.close()
         self._closed = True
 
     @property
@@ -317,15 +389,16 @@ class ShardedExecutor:
         """True once :meth:`close` (or ``__exit__``) has run."""
         return self._closed
 
-    def _ensure_pool(self) -> ThreadPoolExecutor:
+    @property
+    def backend(self):
+        """The live execution backend (kind, chaos hooks, restart count)."""
+        return self._backend
+
+    def _check_open(self) -> None:
         if self._closed:
             raise DeviceError(
                 "ShardedExecutor used after close(); create a new instance"
             )
-        if self._pool is None:
-            workers = self.policy.max_workers or self.policy.n_shards
-            self._pool = ThreadPoolExecutor(max_workers=workers)
-        return self._pool
 
     # -- planning --------------------------------------------------------
     def _plan_shards(
@@ -446,10 +519,22 @@ class ShardedExecutor:
         )
 
     # -- execution -------------------------------------------------------
-    def run_spmv(self, matrix: CSRMatrix, x: np.ndarray) -> ShardedResult:
-        """Sharded SpMV: partition, plan per shard, execute, gather."""
+    def run_spmv(
+        self,
+        matrix: CSRMatrix,
+        x: np.ndarray,
+        *,
+        fingerprint: Optional[MatrixFingerprint] = None,
+    ) -> ShardedResult:
+        """Sharded SpMV: partition, plan per shard, execute, gather.
+
+        ``fingerprint`` lets a caller that already fingerprinted the
+        matrix (the server) hand the identity down; the process backend
+        keys its shared segments and shard-set cache by it.
+        """
         x = check_spmv_operand(matrix.ncols, x)
-        return self._run(matrix, x, batch=False, max_rhs=None)
+        return self._run(matrix, x, batch=False, max_rhs=None,
+                         fingerprint=fingerprint)
 
     def run_spmm(
         self,
@@ -457,10 +542,12 @@ class ShardedExecutor:
         dense: np.ndarray,
         *,
         max_rhs: Optional[int] = None,
+        fingerprint: Optional[MatrixFingerprint] = None,
     ) -> ShardedResult:
         """Sharded multi-RHS execution; each shard runs the whole block."""
         dense = check_spmm_operand(matrix.ncols, dense)
-        return self._run(matrix, dense, batch=True, max_rhs=max_rhs)
+        return self._run(matrix, dense, batch=True, max_rhs=max_rhs,
+                         fingerprint=fingerprint)
 
     def _run(
         self,
@@ -469,8 +556,14 @@ class ShardedExecutor:
         *,
         batch: bool,
         max_rhs: Optional[int],
+        fingerprint: Optional[MatrixFingerprint] = None,
     ) -> ShardedResult:
-        pool = self._ensure_pool()
+        self._check_open()
+        if isinstance(self._backend, ProcessShardBackend):
+            return self._run_process(
+                matrix, rhs, batch=batch, max_rhs=max_rhs,
+                fingerprint=fingerprint,
+            )
         with span("shard.partition", self.registry):
             shards = make_shards(
                 matrix, self.policy.n_shards, self.policy.strategy
@@ -481,32 +574,219 @@ class ShardedExecutor:
             # Captured inside the stage span so worker spans parent to
             # it (not to the whole request) across the thread hop.
             ctx = capture_context()
-            futures = [
-                pool.submit(
-                    self._run_shard, i, shard, plan, rhs,
+            outcomes = self._backend.run_tasks([
+                (lambda i=i, shard=shard, plan=plan: self._run_shard(
+                    i, shard, plan, rhs,
                     batch=batch, max_rhs=max_rhs, trace_ctx=ctx,
-                )
+                ))
                 for i, (shard, plan) in enumerate(zip(shards, plans))
-            ]
-            outcomes = [f.result() for f in futures]
-        n_rhs = rhs.shape[1] if batch else 1
+            ])
+        contributions = [
+            _ShardContribution(
+                descriptor=o.shard.descriptor,
+                y=o.result.U if batch else o.result.u,
+                seconds=o.result.seconds,
+                n_dispatches=o.result.n_dispatches,
+                attempts=o.attempts,
+                degraded=o.degraded,
+            )
+            for o in outcomes
+        ]
+        return self._finalize(
+            matrix, contributions,
+            batch=batch,
+            n_rhs=rhs.shape[1] if batch else 1,
+            all_hit=all_hit,
+        )
+
+    # -- process backend path --------------------------------------------
+    def _shard_set_for(
+        self, matrix: CSRMatrix, digest: str
+    ) -> Tuple[Tuple[ShardDescriptor, ...], Tuple[ExecutionPlan, ...], bool]:
+        """Descriptors + per-shard plans, cached per structural digest."""
+        with self._lock:
+            cached = self._shard_sets.get(digest)
+            if cached is not None:
+                self._shard_sets.move_to_end(digest)
+                return cached[0], cached[1], True
+        with span("shard.partition", self.registry):
+            shards = make_shards(
+                matrix, self.policy.n_shards, self.policy.strategy
+            )
+        with span("shard.plan", self.registry):
+            plans, _ = self._plan_shards(shards)
+        descriptors = tuple(s.descriptor for s in shards)
+        entry = (descriptors, tuple(plans))
+        with self._lock:
+            self._shard_sets[digest] = entry
+            while len(self._shard_sets) > _SHARD_SET_CAPACITY:
+                self._shard_sets.popitem(last=False)
+        return descriptors, entry[1], False
+
+    def _invalidate_shard_set(self, digest: str) -> None:
+        with self._lock:
+            self._shard_sets.pop(digest, None)
+
+    def _run_process(
+        self,
+        matrix: CSRMatrix,
+        rhs: np.ndarray,
+        *,
+        batch: bool,
+        max_rhs: Optional[int],
+        fingerprint: Optional[MatrixFingerprint],
+    ) -> ShardedResult:
+        backend: ProcessShardBackend = self._backend
+        fp = (fingerprint if fingerprint is not None
+              else self._fingerprints.fingerprint(matrix))
+        descriptors, plans, all_hit = self._shard_set_for(matrix, fp.digest)
+        with span("shard.execute", self.registry):
+            ctx = capture_context()
+            trace_ref = (
+                (ctx.trace_id, ctx.span_id) if ctx is not None
+                else (None, None)
+            )
+            try:
+                reports = backend.execute(
+                    matrix, fp.digest, descriptors, plans, rhs,
+                    batch=batch, max_rhs=max_rhs, trace_ref=trace_ref,
+                )
+            except WorkerCrashError:
+                # Dead worker == shard fault: every shard of the broken
+                # dispatch re-drives through the resilience path (remote
+                # retry on the healed pool, serial parent-side fallback).
+                contributions = [
+                    self._process_shard_fault(
+                        matrix, fp, d, plan, rhs,
+                        batch=batch, max_rhs=max_rhs, trace_ref=trace_ref,
+                    )
+                    for d, plan in zip(descriptors, plans)
+                ]
+            else:
+                if ctx is not None:
+                    for r in reports:
+                        trace_event(
+                            "shard.worker", r.wall_start, r.wall_end,
+                            attrs={"shard": r.shard_id,
+                                   "rows": r.row_hi - r.row_lo,
+                                   "backend": "process",
+                                   "pid": r.pid},
+                        )
+                contributions = [
+                    _ShardContribution(
+                        descriptor=d,
+                        y=r.y,
+                        seconds=r.seconds,
+                        n_dispatches=r.n_dispatches,
+                        attempts=1,
+                        degraded=False,
+                    )
+                    for d, r in zip(descriptors, reports)
+                ]
+        return self._finalize(
+            matrix, contributions,
+            batch=batch,
+            n_rhs=rhs.shape[1] if batch else 1,
+            all_hit=all_hit,
+        )
+
+    def _process_shard_fault(
+        self,
+        matrix: CSRMatrix,
+        fp: MatrixFingerprint,
+        descriptor: ShardDescriptor,
+        plan: ExecutionPlan,
+        rhs: np.ndarray,
+        *,
+        batch: bool,
+        max_rhs: Optional[int],
+        trace_ref,
+    ) -> _ShardContribution:
+        """Re-drive one shard after a worker death.
+
+        The *attempt* is a remote single-shard execution on the healed
+        pool -- a transient crash heals with a correct result and no
+        degradation.  The *fallback* is the parent-side serial
+        reference path over a fresh row-block of the current matrix.
+        Both normalise to ``(y, seconds, n_dispatches)`` so the
+        resilience validator sees one shape.
+        """
+        backend: ProcessShardBackend = self._backend
+
+        def _attempt():
+            r = backend.execute_single(
+                matrix, fp.digest, descriptor, plan, rhs,
+                batch=batch, max_rhs=max_rhs, trace_ref=trace_ref,
+            )
+            return (r.y, r.seconds, r.n_dispatches)
+
+        def _fallback():
+            sub = extract_row_block(
+                matrix, descriptor.row_lo, descriptor.row_hi
+            )
+            serial = self._serial_plan(sub)
+            clean = unwrap_device(
+                self.devices[descriptor.shard_id % len(self.devices)]
+            )
+            if batch:
+                res = run_plan_spmm(clean, sub, rhs, serial,
+                                    max_rhs=max_rhs)
+                return (res.U, res.seconds, res.n_dispatches)
+            res = run_plan_spmv(clean, sub, rhs, serial)
+            return (res.u, res.seconds, res.n_dispatches)
+
+        if self._resilient is None:
+            try:
+                y, seconds, n_disp = _attempt()
+                return _ShardContribution(
+                    descriptor, y=y, seconds=seconds,
+                    n_dispatches=n_disp, attempts=1, degraded=False,
+                )
+            except WorkerCrashError:
+                y, seconds, n_disp = _fallback()
+                return _ShardContribution(
+                    descriptor, y=y, seconds=seconds,
+                    n_dispatches=n_disp, attempts=1, degraded=True,
+                )
+
+        key = (fp.digest, descriptor.shard_id)
+        result, outcome = self._resilient.execute(
+            key,
+            _attempt,
+            fallback=_fallback,
+            validate=lambda t: bool(np.isfinite(t[0]).all()),
+            on_degrade=lambda cause: self._invalidate_shard_set(fp.digest),
+        )
+        y, seconds, n_disp = result
+        return _ShardContribution(
+            descriptor, y=y, seconds=seconds, n_dispatches=n_disp,
+            attempts=outcome.attempts, degraded=outcome.degraded,
+        )
+
+    # -- gather + accounting ---------------------------------------------
+    def _finalize(
+        self,
+        matrix: CSRMatrix,
+        contributions: Sequence[_ShardContribution],
+        *,
+        batch: bool,
+        n_rhs: int,
+        all_hit: bool,
+    ) -> ShardedResult:
         with span("shard.gather", self.registry) as sp_gather:
             shape = (matrix.nrows, n_rhs) if batch else (matrix.nrows,)
             y = np.zeros(shape)
-            for out in outcomes:
-                d = out.shard.descriptor
-                y[d.row_lo : d.row_hi] = (
-                    out.result.U if batch else out.result.u
-                )
-        shard_seconds = tuple(o.result.seconds for o in outcomes)
+            for c in contributions:
+                y[c.descriptor.row_lo : c.descriptor.row_hi] = c.y
+        shard_seconds = tuple(c.seconds for c in contributions)
         makespan = max(shard_seconds, default=0.0)
         mean = sum(shard_seconds) / len(shard_seconds) if shard_seconds else 0.0
         imbalance = makespan / mean if mean > 0.0 else 1.0
         degraded = tuple(
-            o.shard.descriptor.shard_id for o in outcomes if o.degraded
+            c.descriptor.shard_id for c in contributions if c.degraded
         )
         summary = ShardSummary(
-            n_shards=len(shards),
+            n_shards=len(contributions),
             shard_seconds=shard_seconds,
             imbalance=imbalance,
             total_shard_seconds=float(sum(shard_seconds)),
@@ -517,9 +797,9 @@ class ShardedExecutor:
         return ShardedResult(
             y=y,
             seconds=float(makespan),
-            n_dispatches=sum(o.result.n_dispatches for o in outcomes),
+            n_dispatches=sum(c.n_dispatches for c in contributions),
             cache_hit=all_hit,
-            attempts=sum(o.attempts for o in outcomes),
+            attempts=sum(c.attempts for c in contributions),
             n_rhs=n_rhs,
             summary=summary,
         )

@@ -175,19 +175,22 @@ class _Group:
         self.dispatch_trace_id: Optional[str] = None
 
 
-def _coalesce_key(matrix: CSRMatrix) -> Tuple[Any, bytes]:
+def _coalesce_key(
+    matrix: CSRMatrix, fingerprint=fingerprint_matrix
+) -> Tuple[Any, bytes]:
     """Identity under which requests may share one dispatch.
 
     The structural fingerprint ignores values by design (values change
     every iteration in solver traffic while the *plan* stays valid), so
     it alone is not a safe coalescing key: two matrices with one pattern
     but different values must not share a dispatch.  Pair it with a
-    digest of the value array.
+    digest of the value array -- always computed fresh (never memoised):
+    values legitimately mutate in place between submits.
     """
     digest = hashlib.blake2b(
         np.ascontiguousarray(matrix.val).tobytes(), digest_size=16
     ).digest()
-    return fingerprint_matrix(matrix), digest
+    return fingerprint(matrix), digest
 
 
 class RequestScheduler:
@@ -213,8 +216,14 @@ class RequestScheduler:
         policy: CoalescePolicy = CoalescePolicy(),
         *,
         registry: Optional[MetricsRegistry] = None,
+        fingerprint=None,
     ):
         self._execute = execute
+        # Structural-fingerprint hook: the server injects its identity
+        # cache so repeated same-object submits skip hashing here too.
+        self._fingerprint = (
+            fingerprint if fingerprint is not None else fingerprint_matrix
+        )
         self.policy = policy
         self.registry = get_registry() if registry is None else registry
         self._cond = threading.Condition()
@@ -311,7 +320,7 @@ class RequestScheduler:
                     f"({self._pending}/{self.policy.max_queue} pending); "
                     f"shed load or retry later"
                 )
-            key = _coalesce_key(matrix)
+            key = _coalesce_key(matrix, self._fingerprint)
             group = self._open.get(key)
             if group is None:
                 group = _Group(
