@@ -67,6 +67,7 @@ from repro.serve import (
     SpMVServer,
     fingerprint_matrix,
 )
+from repro.solvers import SolverResult, SolverSession, solve
 from repro.spgemm import BinnedSpGEMM, spgemm_reference
 from repro.matrices import (
     REPRESENTATIVE_NAMES,
@@ -74,6 +75,7 @@ from repro.matrices import (
     bimodal_rows,
     generate_collection,
     representative_matrix,
+    spd_system,
 )
 
 __version__ = "1.0.0"
@@ -125,6 +127,10 @@ __all__ = [
     "FaultSchedule",
     "FaultKind",
     "ChaosDevice",
+    # solver workloads
+    "SolverSession",
+    "SolverResult",
+    "solve",
     # extensions (paper SI / SVI generalisations)
     "BinnedSpGEMM",
     "spgemm_reference",
@@ -135,6 +141,7 @@ __all__ = [
     "representative_matrix",
     "generate_collection",
     "bimodal_rows",
+    "spd_system",
     "RowStats",
     "extract_features",
     "__version__",

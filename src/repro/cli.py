@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Seven commands cover the deployment workflow:
+Eight commands cover the deployment workflow:
 
 - ``train``  -- offline-train a tuner on a synthetic corpus (or point it
   at a directory of Matrix Market files) and save it to JSON;
@@ -12,7 +12,12 @@ Seven commands cover the deployment workflow:
 - ``serve-demo`` -- drive an :class:`~repro.serve.SpMVServer` with
   repeated single and batched traffic and print the serving stats
   (plan-cache hit rate, per-stage seconds, launches amortised); pass
-  ``--metrics`` to also dump the metrics registry;
+  ``--metrics`` to also dump the metrics registry, or
+  ``--workload solver`` to replace the mixed traffic with a CG solve
+  whose every iteration rides the serving layer;
+- ``solve``  -- run an iterative solver (CG, BiCGSTAB, Jacobi, power
+  iteration) end to end through the server, with optional sharding and
+  chaos, and print the convergence history + per-iteration SLO health;
 - ``metrics`` -- run the same demo traffic against a fresh metrics
   registry and emit the Prometheus-text and JSON snapshots (cache
   hits/misses, per-stage latency histograms, per-kernel dispatch
@@ -32,6 +37,10 @@ Examples
     python -m repro serve-demo --requests 32 --batch 8 --metrics
     python -m repro serve-demo --shards 4 --coalesce --trace \\
         --trace-out trace.json
+    python -m repro serve-demo --workload solver --requests 200
+    python -m repro solve --method cg --matrix spd:2000 --shards 4 \\
+        --backend process
+    python -m repro solve --method jacobi --matrix spd:2000 --chaos
     python -m repro trace --matrix power_law:5000 --sweep
     python -m repro metrics --format prometheus
     python -m repro info
@@ -89,6 +98,7 @@ _CLI_FAMILIES = {
     "quantum_chemistry": lambda n, seed: gen.quantum_chemistry_like(
         n, seed=seed
     ),
+    "spd": lambda n, seed: gen.spd_system(n, seed=seed),
 }
 
 
@@ -224,6 +234,77 @@ def _drive_demo_traffic(server: SpMVServer, args: argparse.Namespace) -> bool:
     return ok
 
 
+def _drive_solver_traffic(server: SpMVServer, args: argparse.Namespace) -> bool:
+    """A CG solve as demo traffic: every iteration is a submit."""
+    from repro.solvers import SolverSession, cg
+
+    matrix = gen.spd_system(args.size, seed=args.seed)
+    print(f"workload: CG solve on spd:{args.size} "
+          f"(tolerance 1e-8, cap {args.requests} iterations)\n")
+    b = np.random.default_rng(args.seed).standard_normal(matrix.ncols)
+    session = SolverSession(
+        matrix, server, slo=SLOTarget(p99=getattr(args, "slo_p99", 0.1)),
+    )
+    result = cg(session, b, tol=1e-8, max_iterations=args.requests)
+    print(result.describe())
+    print(session.stats().describe())
+    print(session.monitor.describe())
+    print()
+    # Verify: the recursion residual must agree with the directly
+    # recomputed one (catches corrupted iterates, e.g. under chaos).
+    true_norm = float(np.linalg.norm(b - matrix @ result.x))
+    drift = abs(true_norm - result.residual_norm)
+    return bool(
+        np.isfinite(result.x).all()
+        and drift <= 1e-6 * (1.0 + float(np.linalg.norm(b)))
+    )
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    """Run one iterative solve end to end through the serving layer."""
+    from repro.solvers import SOLVERS, SolverSession
+
+    matrix = load_matrix(args.matrix, seed=args.seed)
+    print(f"matrix: {matrix}")
+    m, n = matrix.shape
+    if m != n:
+        raise SystemExit(f"solvers need a square matrix, got {m}x{n}")
+    server = _build_demo_server(args)
+    session = SolverSession(
+        matrix, server, slo=SLOTarget(p99=args.slo_p99),
+    )
+    try:
+        if args.method == "power":
+            result = SOLVERS["power"](
+                session, tol=args.tol,
+                max_iterations=args.max_iterations, seed=args.seed,
+            )
+        else:
+            b = np.random.default_rng(args.seed).standard_normal(n)
+            result = SOLVERS[args.method](
+                session, b, tol=args.tol,
+                max_iterations=args.max_iterations,
+            )
+    finally:
+        server.close()
+    print()
+    print(result.describe())
+    print(session.stats().describe())
+    print(session.monitor.describe())
+    if isinstance(server.device, ChaosDevice):
+        counts = server.device.injected_counts()
+        print(f"faults injected    : {sum(counts.values())}")
+    if args.method != "power":
+        true_norm = float(np.linalg.norm(b - matrix @ result.x))
+        drift = abs(true_norm - result.residual_norm)
+        ok = drift <= 1e-6 * (1.0 + float(np.linalg.norm(b)))
+        print(f"residual verified  : "
+              f"{'OK' if ok else 'MISMATCH'} (direct {true_norm:.3e})")
+        if not ok:
+            return 1
+    return 0 if result.converged else 1
+
+
 def _build_demo_server(args: argparse.Namespace) -> SpMVServer:
     device = resilience = None
     if getattr(args, "chaos", False):
@@ -291,7 +372,10 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
         previous = set_registry(registry)
     try:
         server = _build_demo_server(args)
-        ok = _drive_demo_traffic(server, args)
+        if getattr(args, "workload", "mixed") == "solver":
+            ok = _drive_solver_traffic(server, args)
+        else:
+            ok = _drive_demo_traffic(server, args)
         server.close()  # drain the scheduler so the stats are final
     finally:
         if registry is not None:
@@ -517,7 +601,53 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--slo-p99", type=float, default=0.1,
                          help="p99 latency objective in seconds for the "
                               "SLO monitor (default 0.1)")
+    p_serve.add_argument("--workload", choices=("mixed", "solver"),
+                         default="mixed",
+                         help="demo traffic: 'mixed' (repeated + batched "
+                              "requests, default) or 'solver' (a CG solve "
+                              "on an SPD system; --requests caps the "
+                              "iterations)")
     p_serve.set_defaults(func=_cmd_serve_demo)
+
+    p_solve = sub.add_parser(
+        "solve",
+        help="run an iterative solver end to end through the server",
+    )
+    p_solve.add_argument("--method",
+                         choices=("cg", "bicgstab", "jacobi", "power"),
+                         default="cg",
+                         help="cg (SPD), bicgstab (general), jacobi "
+                              "(diagonally dominant), or power "
+                              "(dominant eigenpair; no rhs)")
+    p_solve.add_argument("--matrix", default="spd:1000",
+                         help=".mtx path or family:nrows "
+                              "(default spd:1000; must be square)")
+    p_solve.add_argument("--tol", type=float, default=1e-8,
+                         help="relative residual tolerance (default 1e-8)")
+    p_solve.add_argument("--max-iterations", type=int, default=500)
+    p_solve.add_argument("--model", default=None,
+                         help="trained tuner JSON (heuristic planner if "
+                              "omitted)")
+    p_solve.add_argument("--cache-capacity", type=int, default=32)
+    p_solve.add_argument("--seed", type=int, default=0)
+    p_solve.add_argument("--shards", type=int, default=0,
+                         help="shard the matrix across this many "
+                              "concurrent devices (0 = unsharded)")
+    p_solve.add_argument("--shard-strategy", choices=("rows", "nnz"),
+                         default="nnz")
+    p_solve.add_argument("--backend",
+                         choices=("inline", "thread", "process"),
+                         default="thread",
+                         help="shard execution backend (with --shards)")
+    p_solve.add_argument("--chaos", action="store_true",
+                         help="inject seeded faults mid-solve and serve "
+                              "through the resilience layer")
+    p_solve.add_argument("--chaos-rate", type=float, default=0.1)
+    p_solve.add_argument("--chaos-seed", type=int, default=None)
+    p_solve.add_argument("--slo-p99", type=float, default=0.1,
+                         help="per-iteration p99 objective in seconds "
+                              "(default 0.1)")
+    p_solve.set_defaults(func=_cmd_solve)
 
     p_metrics = sub.add_parser(
         "metrics",

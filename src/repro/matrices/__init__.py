@@ -32,6 +32,7 @@ from repro.matrices.generators import (
     random_uniform,
     road_network,
     single_entry_rows,
+    spd_system,
     stencil_2d,
 )
 from repro.matrices.representative import (

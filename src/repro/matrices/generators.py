@@ -48,6 +48,7 @@ __all__ = [
     "bimodal_rows",
     "dense_row_outliers",
     "single_entry_rows",
+    "spd_system",
 ]
 
 
@@ -407,6 +408,57 @@ def dense_row_outliers(
         idx = rng.choice(nrows, size=min(outlier_count, nrows), replace=False)
         lengths[idx] = min(out_len, ncols)
     return CSRMatrix.from_row_lengths(lengths, ncols, rng=rng)
+
+
+def spd_system(
+    nrows: int,
+    *,
+    band: int = 4,
+    density: float = 0.7,
+    margin: float = 1.0,
+    seed: SeedLike = None,
+) -> CSRMatrix:
+    """Seeded symmetric positive-definite banded system (solver workloads).
+
+    Off-diagonal entries are drawn on ``band`` symmetric diagonals (each
+    present with probability ``density``), and the main diagonal is set
+    to the row's absolute off-diagonal sum plus ``margin`` -- strictly
+    diagonally dominant with positive diagonal, hence SPD.  This is the
+    matrix class CG is guaranteed to converge on, which makes it the
+    canonical input of the iterative-solver workloads
+    (:mod:`repro.solvers`).
+    """
+    check_positive(nrows, "nrows")
+    check_positive(band, "band")
+    check_probability(density, "density")
+    if margin <= 0:
+        raise ValueError(f"margin must be > 0, got {margin}")
+    rng = as_generator(seed)
+    rows_list, cols_list, vals_list = [], [], []
+    for offset in range(1, min(band, nrows - 1) + 1):
+        n_off = nrows - offset
+        keep = rng.random(n_off) < density
+        i = np.arange(n_off, dtype=INDEX_DTYPE)[keep]
+        v = rng.standard_normal(len(i))
+        # Mirror each (i, i+offset) entry to keep the matrix symmetric.
+        rows_list.extend([i, i + offset])
+        cols_list.extend([i + offset, i])
+        vals_list.extend([v, v])
+    if rows_list:
+        rows = np.concatenate(rows_list)
+        cols = np.concatenate(cols_list)
+        vals = np.concatenate(vals_list)
+    else:  # band/density left no off-diagonals: pure diagonal system
+        rows = cols = np.empty(0, dtype=INDEX_DTYPE)
+        vals = np.empty(0)
+    diag = np.zeros(nrows)
+    np.add.at(diag, rows, np.abs(vals))
+    diag += margin
+    all_rows = np.concatenate([rows, np.arange(nrows, dtype=INDEX_DTYPE)])
+    all_cols = np.concatenate([cols, np.arange(nrows, dtype=INDEX_DTYPE)])
+    all_vals = np.concatenate([vals, diag])
+    return CSRMatrix.from_coo_arrays(all_rows, all_cols, all_vals,
+                                     (nrows, nrows))
 
 
 def single_entry_rows(nrows: int, *, seed: SeedLike = None) -> CSRMatrix:

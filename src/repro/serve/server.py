@@ -773,19 +773,47 @@ class SpMVServer:
 
     # -- cache control ---------------------------------------------------
     def invalidate(self, matrix: CSRMatrix) -> bool:
-        """Drop the cached plan for this matrix's pattern, if any.
+        """Drop every cached artefact for this matrix's pattern.
 
-        Also drops the matrix's identity-cache entry, so the next
-        submit of this object re-hashes its (possibly rebuilt)
-        structure instead of trusting the memoised fingerprint.
+        Invalidation must reach every layer that memoised something
+        derived from the pattern, or "invalidated" traffic keeps being
+        served from stale state:
+
+        - the matrix's identity-cache entry, so the next submit of this
+          object re-hashes its (possibly rebuilt) structure instead of
+          trusting the memoised fingerprint;
+        - the plan-cache entry for the pattern;
+        - when sharded: the sharded executor's (descriptors, plans)
+          shard set, its per-shard plan-cache entries, and -- on the
+          process backend -- the pre-pickled spec blobs plus a
+          generation bump that forces worker-side bound-plan caches to
+          rebind on the next dispatch.
+
+        Returns True when any cached state was dropped.
         """
         fp = self._fingerprints.fingerprint(matrix)
         self._fingerprints.invalidate(matrix)
-        return self.cache.invalidate(fp)
+        dropped = self.cache.invalidate(fp)
+        if self._sharded is not None:
+            dropped |= self._sharded.invalidate(fp.digest)
+        return dropped
 
     def clear_cache(self) -> None:
-        """Drop every cached plan (counters survive)."""
+        """Drop every cached plan *and* cached identity (counters survive).
+
+        Clears all three memoisation layers together: the plan cache,
+        the fingerprint identity cache (so every live matrix object
+        re-hashes on its next submit), and -- when sharded -- the shard
+        layer's shard sets, per-shard plans and backend blobs, with a
+        generation bump so process-backend workers rebind.  Leaving any
+        of them warm would make "clear" a lie: a post-clear submit must
+        behave exactly like a first request, except that results are of
+        course unchanged.
+        """
         self.cache.clear()
+        self._fingerprints.clear()
+        if self._sharded is not None:
+            self._sharded.clear_caches()
 
     # -- observability ---------------------------------------------------
     def stats(self) -> ServerStats:

@@ -297,6 +297,11 @@ class SharedMatrixStore:
         with self._lock:
             return tuple(s.handle.segment for s in self._segments.values())
 
+    def digests(self) -> Tuple[str, ...]:
+        """Structural digests of the currently published matrices."""
+        with self._lock:
+            return tuple(self._segments.keys())
+
     def close(self) -> None:
         """Unlink every segment (idempotent)."""
         with self._lock:
@@ -346,6 +351,12 @@ class ShardTaskSpec:
     scheme: BinningScheme
     #: ``bin_id -> kernel name`` from the shard's plan.
     bin_kernels: Dict[int, str]
+    #: Plan generation of this spec's digest.  Worker-side bound-plan
+    #: caches key on it: when the parent invalidates a matrix (device
+    #: change, degraded plan, planner swap) it bumps the generation, so
+    #: the next dispatch *rebinds* against the fresh plan instead of
+    #: silently reusing a stale ``_BoundShardPlan``.
+    generation: int = 0
     #: Trace identity propagated across the process boundary; echoed
     #: back in the :class:`ShardRunReport` and used by the parent to
     #: record the worker interval into the request's trace.
@@ -574,7 +585,11 @@ class _BoundShardPlan:
 
 def _worker_bound(handle: SharedMatrixHandle, spec: ShardTaskSpec,
                   device_spec: DeviceSpec) -> _BoundShardPlan:
-    key = (handle.segment, spec.shard_id)
+    # Generation is part of the key on purpose: a parent-side
+    # invalidation bumps it, which makes every stale bound plan for the
+    # digest unreachable (LRU eviction reclaims them) and forces a
+    # rebind against the spec's *current* scheme + kernel map.
+    key = (handle.segment, spec.shard_id, spec.generation)
     bound = _BOUND.get(key)
     if bound is None:
         bound = _BoundShardPlan(handle, spec, device_spec)
@@ -669,6 +684,12 @@ class InlineShardBackend:
     def run_tasks(self, thunks: Sequence[Callable[[], object]]) -> list:
         return [thunk() for thunk in thunks]
 
+    def invalidate(self, digest: str) -> None:
+        """No backend-side plan state to drop (plans live in the caller)."""
+
+    def invalidate_all(self) -> None:
+        """No backend-side plan state to drop."""
+
     def close(self) -> None:
         """Nothing to release."""
 
@@ -689,6 +710,12 @@ class ThreadShardBackend:
             self._pool = ThreadPoolExecutor(max_workers=self._max_workers)
         futures = [self._pool.submit(t) for t in thunks]
         return [f.result() for f in futures]
+
+    def invalidate(self, digest: str) -> None:
+        """No backend-side plan state to drop (plans live in the caller)."""
+
+    def invalidate_all(self) -> None:
+        """No backend-side plan state to drop."""
 
     def close(self) -> None:
         if self._pool is not None:
@@ -771,6 +798,10 @@ class ProcessShardBackend:
         #: chaos flags travel separately), so the ``pickle.dumps`` of the
         #: scheme objects is paid once per structure, not per request.
         self._blobs: "OrderedDict[tuple, list]" = OrderedDict()
+        #: digest -> plan generation.  Bumped by :meth:`invalidate`;
+        #: rides in every :class:`ShardTaskSpec` and keys the worker's
+        #: bound-plan cache, so stale worker-side plans rebind.
+        self._generations: Dict[str, int] = {}
         #: Chaos hooks (seeded crash tests): request sequence numbers
         #: whose first shard's worker dies, or kill on *every* dispatch.
         self.kill_requests: set = set()
@@ -824,6 +855,35 @@ class ProcessShardBackend:
             pool.shutdown(wait=True)
         self.store.close()
 
+    # -- invalidation -----------------------------------------------------
+    def generation(self, digest: str) -> int:
+        """The digest's current plan generation (0 until invalidated)."""
+        with self._lock:
+            return self._generations.get(digest, 0)
+
+    def invalidate(self, digest: str) -> None:
+        """Drop this digest's pre-pickled spec blobs; bump its generation.
+
+        The bump is what reaches the workers: the next dispatch's specs
+        (and rebuilt blobs) carry the new generation, which misses every
+        worker-side ``_BoundShardPlan`` and spec-group cache entry keyed
+        under the old one -- the shard plans rebind against whatever the
+        parent re-plans, instead of silently serving stale plans.
+        """
+        with self._lock:
+            self._generations[digest] = self._generations.get(digest, 0) + 1
+            for key in [k for k in self._blobs if k[0] == digest]:
+                del self._blobs[key]
+
+    def invalidate_all(self) -> None:
+        """:meth:`invalidate` every digest this backend has ever served."""
+        with self._lock:
+            digests = set(self._generations) | set(
+                k[0] for k in self._blobs
+            )
+        for digest in digests | set(self.store.digests()):
+            self.invalidate(digest)
+
     # -- task-spec construction -------------------------------------------
     def _specs(
         self,
@@ -835,6 +895,8 @@ class ProcessShardBackend:
         kill_first: bool = False,
     ) -> List[ShardTaskSpec]:
         trace_id, parent_span_id = trace_ref
+        with self._lock:
+            generation = self._generations.get(digest, 0)
         return [
             ShardTaskSpec(
                 digest=digest,
@@ -843,6 +905,7 @@ class ProcessShardBackend:
                 row_hi=d.row_hi,
                 scheme=plan.scheme,
                 bin_kernels=dict(plan.bin_kernels),
+                generation=generation,
                 trace_id=trace_id,
                 parent_span_id=parent_span_id,
                 kill=self.kill_all or (kill_first and d.shard_id == 0),
@@ -856,20 +919,29 @@ class ProcessShardBackend:
         descriptors: Sequence[ShardDescriptor],
         plans: Sequence[ExecutionPlan],
     ) -> list:
-        """Chunked, pre-pickled spec groups for the warm path (cached)."""
+        """Chunked, pre-pickled spec groups for the warm path (cached).
+
+        The worker-side blob key carries the digest's current plan
+        generation: after an :meth:`invalidate` the rebuilt blobs hash
+        to fresh keys, so a restarted-or-warm worker can never serve the
+        new specs from its stale ``_SPEC_GROUPS`` entry.
+        """
         cache_key = (digest, len(descriptors))
-        groups = self._blobs.get(cache_key)
-        if groups is None:
-            specs = self._specs(digest, descriptors, plans, (None, None))
-            groups = [
-                ((digest, len(descriptors), i), pickle.dumps(group))
-                for i, group in enumerate(_chunk(specs, self.n_workers))
-            ]
+        with self._lock:
+            groups = self._blobs.get(cache_key)
+            if groups is not None:
+                self._blobs.move_to_end(cache_key)
+                return groups
+        specs = self._specs(digest, descriptors, plans, (None, None))
+        generation = specs[0].generation if specs else 0
+        groups = [
+            ((digest, len(descriptors), generation, i), pickle.dumps(group))
+            for i, group in enumerate(_chunk(specs, self.n_workers))
+        ]
+        with self._lock:
             self._blobs[cache_key] = groups
             while len(self._blobs) > _MAX_SPEC_GROUPS:
                 self._blobs.popitem(last=False)
-        else:
-            self._blobs.move_to_end(cache_key)
         return groups
 
     # -- execution --------------------------------------------------------

@@ -324,6 +324,10 @@ class ShardedExecutor:
         # request's values always come from the shared segment (or the
         # current matrix, on the degraded parent-side path).
         self._shard_sets: "OrderedDict[str, tuple]" = OrderedDict()
+        # All backends: parent digest -> the per-shard plan-cache keys
+        # its last run used, so invalidate(digest) can surgically drop
+        # the matching shard plans without re-partitioning the matrix.
+        self._shard_fps: "OrderedDict[str, tuple]" = OrderedDict()
         self._closed = False
         self._lock = threading.Lock()
         self._executions = 0
@@ -403,14 +407,17 @@ class ShardedExecutor:
     # -- planning --------------------------------------------------------
     def _plan_shards(
         self, shards: List[Shard]
-    ) -> Tuple[List[ExecutionPlan], bool]:
+    ) -> Tuple[List[ExecutionPlan], List[MatrixFingerprint], bool]:
         """Plan every shard through the per-shard cache.
 
-        Returns ``(plans, all_hit)``; ``all_hit`` is True when no shard
-        needed a fresh planner run (repeated traffic for one parent
-        pattern hits K cached shard plans).
+        Returns ``(plans, shard_fps, all_hit)``; ``all_hit`` is True
+        when no shard needed a fresh planner run (repeated traffic for
+        one parent pattern hits K cached shard plans).  The shard
+        fingerprints are what :meth:`invalidate` needs later to drop
+        exactly this parent's per-shard plan-cache entries.
         """
         plans: List[ExecutionPlan] = []
+        fps: List[MatrixFingerprint] = []
         all_hit = True
         for shard in shards:
             fp = fingerprint_matrix(shard.matrix)
@@ -418,8 +425,19 @@ class ShardedExecutor:
                 fp, lambda s=shard: self._planner(s.matrix)
             )
             plans.append(plan)
+            fps.append(fp)
             all_hit &= hit
-        return plans, all_hit
+        return plans, fps, all_hit
+
+    def _record_shard_fps(
+        self, digest: str, fps: Sequence[MatrixFingerprint]
+    ) -> None:
+        """Remember which per-shard plan-cache keys a parent digest maps
+        to, so :meth:`invalidate` can drop them without re-partitioning."""
+        with self._lock:
+            self._shard_fps[digest] = tuple(fps)
+            while len(self._shard_fps) > _SHARD_SET_CAPACITY:
+                self._shard_fps.popitem(last=False)
 
     # -- degraded path ---------------------------------------------------
     @staticmethod
@@ -569,7 +587,9 @@ class ShardedExecutor:
                 matrix, self.policy.n_shards, self.policy.strategy
             )
         with span("shard.plan", self.registry):
-            plans, all_hit = self._plan_shards(shards)
+            plans, fps, all_hit = self._plan_shards(shards)
+        if fingerprint is not None:
+            self._record_shard_fps(fingerprint.digest, fps)
         with span("shard.execute", self.registry):
             # Captured inside the stage span so worker spans parent to
             # it (not to the whole request) across the thread hop.
@@ -614,7 +634,8 @@ class ShardedExecutor:
                 matrix, self.policy.n_shards, self.policy.strategy
             )
         with span("shard.plan", self.registry):
-            plans, _ = self._plan_shards(shards)
+            plans, fps, _ = self._plan_shards(shards)
+        self._record_shard_fps(digest, fps)
         descriptors = tuple(s.descriptor for s in shards)
         entry = (descriptors, tuple(plans))
         with self._lock:
@@ -624,8 +645,41 @@ class ShardedExecutor:
         return descriptors, entry[1], False
 
     def _invalidate_shard_set(self, digest: str) -> None:
+        """Degradation hook: full invalidation, shard plans included."""
+        self.invalidate(digest)
+
+    # -- invalidation ----------------------------------------------------
+    def invalidate(self, digest: str) -> bool:
+        """Drop every cached artefact derived from this parent digest.
+
+        Three layers go stale together and must be dropped together:
+        the (descriptors, plans) shard-set entry, the per-shard
+        plan-cache entries it referenced, and the backend's own state
+        (the process backend's pre-pickled spec blobs plus a generation
+        bump that forces worker-side bound plans to rebind on the next
+        dispatch).  Returns True when any cached state was dropped.
+        """
         with self._lock:
-            self._shard_sets.pop(digest, None)
+            dropped = self._shard_sets.pop(digest, None) is not None
+            fps = self._shard_fps.pop(digest, ())
+        for fp in fps:
+            dropped |= self.cache.invalidate(fp)
+        self._backend.invalidate(digest)
+        return dropped
+
+    def clear_caches(self) -> None:
+        """Drop every cached plan, shard set and fingerprint (all digests).
+
+        The counters survive, mirroring :meth:`PlanCache.clear`; the
+        backend invalidates every digest it has served so worker-side
+        bound plans rebind on the next dispatch.
+        """
+        with self._lock:
+            self._shard_sets.clear()
+            self._shard_fps.clear()
+        self.cache.clear()
+        self._fingerprints.clear()
+        self._backend.invalidate_all()
 
     def _run_process(
         self,

@@ -1,0 +1,36 @@
+"""``repro.solvers``: iterative solvers as serving workloads.
+
+CG, BiCGSTAB, damped Jacobi and power iteration, all running every
+SpMV through :meth:`repro.serve.SpMVServer.submit` via a
+:class:`SolverSession` -- the long-lived, same-matrix traffic the
+plan cache, fingerprint fast path, sharded backends and resilience
+layer exist to serve.  See ``DESIGN.md`` section 12.
+"""
+
+from repro.solvers.methods import (
+    SOLVERS,
+    SolverResult,
+    bicgstab,
+    cg,
+    jacobi,
+    power_iteration,
+    solve,
+)
+from repro.solvers.session import (
+    IterationRecord,
+    SolverSession,
+    SolverSessionStats,
+)
+
+__all__ = [
+    "SOLVERS",
+    "SolverResult",
+    "SolverSession",
+    "SolverSessionStats",
+    "IterationRecord",
+    "bicgstab",
+    "cg",
+    "jacobi",
+    "power_iteration",
+    "solve",
+]

@@ -1,0 +1,407 @@
+"""Iterative solvers that run every SpMV through the serving layer.
+
+Three methods, chosen to exercise the server differently:
+
+- :func:`cg` -- conjugate gradients for SPD systems; one SpMV per
+  iteration, the canonical long-lived same-matrix workload;
+- :func:`bicgstab` -- BiCGSTAB for general square systems; *two* SpMVs
+  per iteration, so one recorded iteration spans multiple submits;
+- :func:`jacobi` -- damped Jacobi smoothing for diagonally dominant
+  systems; the residual is recomputed through the server each sweep;
+- :func:`power_iteration` -- dominant eigenpair; no right-hand side,
+  the iterate itself is the state.
+
+Every method takes a :class:`~repro.solvers.SolverSession` (or builds
+a throwaway one via :func:`solve`) and *only* touches the matrix via
+``session.matvec`` -- there is no private ``A @ x`` escape hatch, so a
+solve is also an end-to-end audit of plan-cache, fingerprint fast
+path, sharding, resilience and tracing under sustained traffic.
+
+Convergence is relative: ``||r|| <= tol * ||b||`` (or ``tol`` alone
+when ``b`` is zero); power iteration uses ``||A v - lambda v|| <=
+tol * |lambda|``.  All vector arithmetic is plain NumPy on float64,
+deterministic for a fixed backend, which is what makes the
+bit-identical-across-backends acceptance test meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.formats.csr import CSRMatrix
+from repro.solvers.session import IterationRecord, SolverSession
+
+__all__ = [
+    "SolverResult",
+    "cg",
+    "bicgstab",
+    "jacobi",
+    "power_iteration",
+    "SOLVERS",
+    "solve",
+]
+
+
+@dataclass(frozen=True)
+class SolverResult:
+    """Outcome of one solve, history included."""
+
+    #: The final iterate (solution estimate, or eigenvector for
+    #: :func:`power_iteration`).
+    x: np.ndarray
+    #: True when the stopping criterion was met within the budget.
+    converged: bool
+    #: Iterations actually run.
+    iterations: int
+    #: Final residual norm (absolute).
+    residual_norm: float
+    #: Per-iteration records, as captured by the session.
+    history: Tuple[IterationRecord, ...]
+    #: Simulated device seconds across the solve's submits.
+    simulated_seconds: float
+    #: Wall seconds across the solve's recorded iterations.
+    wall_seconds: float
+    #: Which method produced this result.
+    method: str
+    #: Dominant eigenvalue estimate (power iteration only).
+    eigenvalue: Optional[float] = None
+
+    def describe(self) -> str:
+        """Readable one-paragraph summary (CLI / logs)."""
+        state = "converged" if self.converged else "did NOT converge"
+        head = (f"{self.method}: {state} in {self.iterations} iterations, "
+                f"residual {self.residual_norm:.3e}")
+        if self.eigenvalue is not None:
+            head += f", eigenvalue {self.eigenvalue:.6f}"
+        return "\n".join([
+            head,
+            f"  simulated exec time: {self.simulated_seconds * 1e3:.3f} ms",
+            f"  iteration wall time: {self.wall_seconds * 1e3:.3f} ms",
+        ])
+
+
+def _as_rhs(session: SolverSession, b: np.ndarray) -> np.ndarray:
+    b = np.ascontiguousarray(b, dtype=np.float64)
+    n = session.matrix.shape[0]
+    if b.shape != (n,):
+        raise ShapeError(f"rhs must have shape ({n},), got {b.shape}")
+    return b
+
+
+def _initial_state(
+    session: SolverSession, b: np.ndarray, x0: Optional[np.ndarray]
+) -> Tuple[np.ndarray, np.ndarray, float]:
+    """Common setup: iterate, residual ``b - A x``, target norm."""
+    if x0 is None:
+        x = np.zeros_like(b)
+        r = b.copy()  # A @ 0 == 0; skip the submit
+    else:
+        x = np.ascontiguousarray(x0, dtype=np.float64).copy()
+        if x.shape != b.shape:
+            raise ShapeError(
+                f"x0 must have shape {b.shape}, got {x.shape}"
+            )
+        r = b - session.matvec(x)
+    norm_b = float(np.linalg.norm(b))
+    threshold = norm_b if norm_b > 0.0 else 1.0
+    return x, r, threshold
+
+
+def _result(
+    session: SolverSession,
+    method: str,
+    x: np.ndarray,
+    converged: bool,
+    residual_norm: float,
+    start_iterations: int,
+    *,
+    eigenvalue: Optional[float] = None,
+) -> SolverResult:
+    history = session.history[start_iterations:]
+    return SolverResult(
+        x=x,
+        converged=converged,
+        iterations=len(history),
+        residual_norm=float(residual_norm),
+        history=history,
+        simulated_seconds=sum(r.simulated_seconds for r in history),
+        wall_seconds=sum(r.wall_seconds for r in history),
+        method=method,
+        eigenvalue=eigenvalue,
+    )
+
+
+def cg(
+    session: SolverSession,
+    b: np.ndarray,
+    *,
+    tol: float = 1e-8,
+    max_iterations: int = 500,
+    x0: Optional[np.ndarray] = None,
+) -> SolverResult:
+    """Conjugate gradients for symmetric positive definite systems.
+
+    One SpMV per iteration.  Guaranteed to converge (in exact
+    arithmetic within ``n`` steps) when the matrix is SPD, e.g. from
+    :func:`repro.matrices.spd_system` or the 5-point
+    :func:`~repro.matrices.stencil_2d`.
+    """
+    b = _as_rhs(session, b)
+    x, r, threshold = _initial_state(session, b, x0)
+    base = len(session.history)
+    session.reset_clock()
+    rnorm = float(np.linalg.norm(r))
+    if rnorm <= tol * threshold:
+        return _result(session, "cg", x, True, rnorm, base)
+    p = r.copy()
+    rs = float(r @ r)
+    converged = False
+    for _ in range(max_iterations):
+        Ap = session.matvec(p)
+        pAp = float(p @ Ap)
+        if pAp <= 0.0:
+            # Not SPD (or a breakdown): stop rather than diverge.
+            session.record_iteration(rnorm)
+            break
+        alpha = rs / pAp
+        x = x + alpha * p
+        r = r - alpha * Ap
+        rs_next = float(r @ r)
+        rnorm = float(np.sqrt(rs_next))
+        session.record_iteration(rnorm)
+        if rnorm <= tol * threshold:
+            converged = True
+            break
+        p = r + (rs_next / rs) * p
+        rs = rs_next
+    return _result(session, "cg", x, converged, rnorm, base)
+
+
+def bicgstab(
+    session: SolverSession,
+    b: np.ndarray,
+    *,
+    tol: float = 1e-8,
+    max_iterations: int = 500,
+    x0: Optional[np.ndarray] = None,
+) -> SolverResult:
+    """BiCGSTAB (no preconditioner) for general square systems.
+
+    Two SpMVs per iteration, so each :class:`IterationRecord` carries
+    ``spmv_calls == 2`` -- the multi-submit-per-iteration case of the
+    session accounting.  On breakdown (``rho`` or ``omega`` collapsing
+    to zero) the solve stops and reports ``converged=False``.
+    """
+    b = _as_rhs(session, b)
+    x, r, threshold = _initial_state(session, b, x0)
+    base = len(session.history)
+    session.reset_clock()
+    rnorm = float(np.linalg.norm(r))
+    if rnorm <= tol * threshold:
+        return _result(session, "bicgstab", x, True, rnorm, base)
+    r_hat = r.copy()
+    rho = alpha = omega = 1.0
+    v = np.zeros_like(b)
+    p = np.zeros_like(b)
+    converged = False
+    tiny = np.finfo(np.float64).tiny
+    for _ in range(max_iterations):
+        rho_next = float(r_hat @ r)
+        if abs(rho_next) < tiny:
+            session.record_iteration(rnorm)
+            break
+        beta = (rho_next / rho) * (alpha / omega)
+        rho = rho_next
+        p = r + beta * (p - omega * v)
+        v = session.matvec(p)
+        denom = float(r_hat @ v)
+        if abs(denom) < tiny:
+            session.record_iteration(rnorm)
+            break
+        alpha = rho / denom
+        s = r - alpha * v
+        snorm = float(np.linalg.norm(s))
+        if snorm <= tol * threshold:
+            x = x + alpha * p
+            rnorm = snorm
+            session.record_iteration(rnorm)
+            converged = True
+            break
+        t = session.matvec(s)
+        tt = float(t @ t)
+        if tt < tiny:
+            session.record_iteration(rnorm)
+            break
+        omega = float(t @ s) / tt
+        x = x + alpha * p + omega * s
+        r = s - omega * t
+        rnorm = float(np.linalg.norm(r))
+        session.record_iteration(rnorm)
+        if rnorm <= tol * threshold:
+            converged = True
+            break
+        if abs(omega) < tiny:
+            break
+    return _result(session, "bicgstab", x, converged, rnorm, base)
+
+
+def jacobi(
+    session: SolverSession,
+    b: np.ndarray,
+    *,
+    tol: float = 1e-8,
+    max_iterations: int = 500,
+    omega: float = 1.0,
+    x0: Optional[np.ndarray] = None,
+) -> SolverResult:
+    """Damped Jacobi sweeps: ``x += omega * D^-1 (b - A x)``.
+
+    Converges for strictly diagonally dominant systems (what
+    :func:`repro.matrices.spd_system` produces); one SpMV per sweep
+    because the residual is recomputed through the server each time.
+    """
+    if not 0.0 < omega <= 1.0:
+        raise ValueError(f"omega must be in (0, 1], got {omega}")
+    b = _as_rhs(session, b)
+    diag = _diagonal(session.matrix)
+    if not np.all(diag != 0.0):
+        raise ValueError("jacobi needs a zero-free diagonal")
+    x, r, threshold = _initial_state(session, b, x0)
+    base = len(session.history)
+    session.reset_clock()
+    rnorm = float(np.linalg.norm(r))
+    converged = rnorm <= tol * threshold
+    inv_diag = omega / diag
+    for _ in range(max_iterations):
+        if converged:
+            break
+        x = x + inv_diag * r
+        r = b - session.matvec(x)
+        rnorm = float(np.linalg.norm(r))
+        session.record_iteration(rnorm)
+        converged = rnorm <= tol * threshold
+    return _result(session, "jacobi", x, converged, rnorm, base)
+
+
+def power_iteration(
+    session: SolverSession,
+    *,
+    tol: float = 1e-8,
+    max_iterations: int = 500,
+    v0: Optional[np.ndarray] = None,
+    seed: int = 0,
+) -> SolverResult:
+    """Dominant eigenpair by power iteration.
+
+    The "residual" in the convergence history is the eigen-residual
+    ``||A v - lambda v||`` with ``lambda`` the Rayleigh quotient; the
+    relative stop is against ``|lambda|``.  The start vector defaults
+    to a seeded Gaussian so runs are reproducible.
+    """
+    n = session.matrix.shape[0]
+    if v0 is None:
+        v = np.random.default_rng(seed).standard_normal(n)
+    else:
+        v = np.ascontiguousarray(v0, dtype=np.float64).copy()
+        if v.shape != (n,):
+            raise ShapeError(f"v0 must have shape ({n},), got {v.shape}")
+    nv = float(np.linalg.norm(v))
+    if nv == 0.0:
+        raise ValueError("start vector must be nonzero")
+    v = v / nv
+    base = len(session.history)
+    session.reset_clock()
+    lam = 0.0
+    rnorm = float("inf")
+    converged = False
+    for _ in range(max_iterations):
+        w = session.matvec(v)
+        lam = float(v @ w)
+        rnorm = float(np.linalg.norm(w - lam * v))
+        session.record_iteration(rnorm)
+        threshold = abs(lam) if lam != 0.0 else 1.0
+        if rnorm <= tol * threshold:
+            converged = True
+            break
+        # ``w`` cannot be the zero vector here: that would have made
+        # the residual exactly zero and converged above.
+        v = w / float(np.linalg.norm(w))
+    return _result(
+        session, "power_iteration", v, converged, rnorm, base,
+        eigenvalue=lam,
+    )
+
+
+def _diagonal(matrix: CSRMatrix) -> np.ndarray:
+    """Extract the main diagonal (zeros where no stored entry)."""
+    n = matrix.shape[0]
+    diag = np.zeros(n, dtype=np.float64)
+    rowptr, colidx, val = matrix.rowptr, matrix.colidx, matrix.val
+    rows = np.repeat(
+        np.arange(n, dtype=np.int64), np.diff(rowptr).astype(np.int64)
+    )
+    on_diag = colidx == rows
+    # += (via np.add.at) rather than plain assignment: CSR permits
+    # duplicate entries, which SpMV sums.
+    np.add.at(diag, rows[on_diag], val[on_diag])
+    return diag
+
+
+#: Method registry for the CLI and :func:`solve`.
+SOLVERS: Dict[str, Callable[..., SolverResult]] = {
+    "cg": cg,
+    "bicgstab": bicgstab,
+    "jacobi": jacobi,
+    "power": power_iteration,
+}
+
+
+def solve(
+    method: str,
+    matrix: CSRMatrix,
+    b: Optional[np.ndarray] = None,
+    *,
+    session: Optional[SolverSession] = None,
+    **kwargs: Any,
+) -> SolverResult:
+    """One-call convenience: build a session, run ``method``, close.
+
+    ``kwargs`` split by destination: solver options (``tol``,
+    ``max_iterations``, ...) go to the method; everything else goes to
+    the session / server (``sharding=``, ``resilience=``, ...).  Pass
+    ``session=`` to reuse an existing one (it is left open).
+    """
+    if method not in SOLVERS:
+        raise ValueError(
+            f"unknown method {method!r}; choose from {sorted(SOLVERS)}"
+        )
+    fn = SOLVERS[method]
+    solver_keys = {
+        "tol", "max_iterations", "x0", "omega", "v0", "seed", "slo",
+    }
+    solver_kwargs = {k: v for k, v in kwargs.items() if k in solver_keys}
+    session_kwargs = {
+        k: v for k, v in kwargs.items() if k not in solver_keys
+    }
+    slo = solver_kwargs.pop("slo", None)
+    if method == "power":
+        if b is not None:
+            raise ValueError("power iteration takes no right-hand side")
+        args: Tuple[Any, ...] = ()
+    else:
+        if b is None:
+            raise ValueError(f"{method} needs a right-hand side")
+        args = (b,)
+    if session is not None:
+        if session_kwargs:
+            raise ValueError(
+                "pass either an existing session or session kwargs, "
+                f"not both: {sorted(session_kwargs)}"
+            )
+        return fn(session, *args, **solver_kwargs)
+    with SolverSession(matrix, slo=slo, **session_kwargs) as owned:
+        return fn(owned, *args, **solver_kwargs)

@@ -1,0 +1,268 @@
+"""``SolverSession``: the serving-side harness of a long-lived solve.
+
+Iterative solvers are the workload the serving layer was built for --
+hundreds of SpMVs against one matrix with evolving right-hand sides --
+and the session is the piece that wires a solver loop *through*
+:class:`~repro.serve.SpMVServer` instead of around it.  Every
+``matvec`` is a real ``submit``: it pays (or skips, via the identity
+fast path) fingerprinting, hits the plan cache, and runs whatever
+sharding/coalescing/resilience/tracing the server is configured with.
+
+The session owns three things a bare solver function cannot:
+
+- **server wiring**: pass an existing server (shared with other
+  traffic) or let the session build and own one from keyword arguments
+  (``sharding=``, ``resilience=``, ``tracing=`` forward to
+  :class:`~repro.serve.SpMVServer`); an owned server is closed by
+  :meth:`close` / the context manager;
+- **per-iteration latency**: each :meth:`record_iteration` feeds the
+  iteration's wall time into an :class:`~repro.trace.SLOMonitor`, so a
+  solve has p50/p99 *iteration* stability the same way a server has
+  request stability -- ``health_snapshot()`` answers "is this solve
+  meeting its latency objective" mid-flight;
+- **convergence history**: one :class:`IterationRecord` per iteration
+  (residual, wall and simulated seconds, cache hits, resilience
+  attempts, degradation), the audit trail the chaos acceptance test
+  and the convergence benchmark both read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.formats.csr import CSRMatrix
+from repro.observe.registry import MetricsRegistry, get_registry
+from repro.serve.server import SpMVServer
+from repro.trace.slo import SLOMonitor, SLOTarget
+
+__all__ = ["IterationRecord", "SolverSessionStats", "SolverSession"]
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """One solver iteration as observed through the serving layer."""
+
+    #: 0-based iteration index.
+    index: int
+    #: Residual norm *after* this iteration's update.
+    residual_norm: float
+    #: Wall seconds this iteration took (matvecs + vector updates).
+    wall_seconds: float
+    #: Simulated device seconds accounted to this iteration's submits.
+    simulated_seconds: float
+    #: ``submit`` calls this iteration issued (1 for CG/Jacobi/power
+    #: iteration, 2 for BiCGSTAB).
+    spmv_calls: int
+    #: How many of those submits hit the plan cache.
+    cache_hits: int
+    #: Tuned-plan attempts summed over the iteration's submits (equals
+    #: ``spmv_calls`` when nothing retried).
+    attempts: int
+    #: True when any submit of this iteration was served degraded
+    #: (serial-reference fallback after faults).
+    degraded: bool
+
+
+@dataclass(frozen=True)
+class SolverSessionStats:
+    """Point-in-time accounting of one session."""
+
+    #: Iterations recorded so far.
+    iterations: int
+    #: ``submit`` calls issued so far (including un-recorded ones).
+    spmv_calls: int
+    #: Submits served from the plan cache.
+    cache_hits: int
+    #: Tuned-plan attempts summed over all submits.
+    attempts: int
+    #: Submits served degraded (serial fallback).
+    degraded_spmvs: int
+    #: Simulated device seconds accumulated over all submits.
+    simulated_seconds: float
+    #: Wall seconds summed over recorded iterations.
+    wall_seconds: float
+
+    @property
+    def hit_rate(self) -> float:
+        """Plan-cache hit rate over the session's submits."""
+        return self.cache_hits / self.spmv_calls if self.spmv_calls else 0.0
+
+    def describe(self) -> str:
+        """Readable multi-line summary (CLI / logs)."""
+        return "\n".join([
+            f"iterations         : {self.iterations} "
+            f"({self.spmv_calls} SpMV submits, "
+            f"hit rate {self.hit_rate:.1%})",
+            f"resilience         : {self.attempts} attempts, "
+            f"{self.degraded_spmvs} degraded submits",
+            f"simulated exec time: {self.simulated_seconds * 1e3:.3f} ms",
+            f"iteration wall time: {self.wall_seconds * 1e3:.3f} ms",
+        ])
+
+
+class SolverSession:
+    """Serving harness for iterative solvers over one matrix.
+
+    Parameters
+    ----------
+    matrix:
+        The (square) system matrix; every :meth:`matvec` submits it to
+        the server, so the whole solve rides the plan-cache /
+        fingerprint identity fast path.
+    server:
+        An existing :class:`~repro.serve.SpMVServer` to share.  When
+        ``None``, the session builds its own from ``server_kwargs``
+        (``sharding=``, ``scheduler=``, ``resilience=``, ``tracing=``,
+        ``planner=`` ... all forward) and owns its lifetime.
+    slo:
+        Optional per-*iteration* latency objective; breaches and
+        windowed quantiles are tracked by :attr:`monitor` regardless.
+    window:
+        Sliding-window width of the iteration-latency quantiles.
+    registry:
+        Metrics registry for the monitor's gauges; defaults to the
+        server's registry.
+    """
+
+    def __init__(
+        self,
+        matrix: CSRMatrix,
+        server: Optional[SpMVServer] = None,
+        *,
+        slo: Optional[SLOTarget] = None,
+        window: int = 512,
+        registry: Optional[MetricsRegistry] = None,
+        **server_kwargs: Any,
+    ):
+        m, n = matrix.shape
+        if m != n:
+            raise ShapeError(
+                f"iterative solvers need a square matrix, got {m}x{n}"
+            )
+        if server is not None and server_kwargs:
+            raise ValueError(
+                "pass either an existing server or server kwargs, not both: "
+                f"{sorted(server_kwargs)}"
+            )
+        self.matrix = matrix
+        self._owns_server = server is None
+        self.server = (
+            SpMVServer(registry=registry, **server_kwargs)
+            if server is None else server
+        )
+        if registry is None:
+            registry = (
+                self.server.registry
+                if self.server.registry is not None else get_registry()
+            )
+        self.monitor = SLOMonitor(
+            slo if slo is not None else SLOTarget(),
+            window=window,
+            registry=registry,
+        )
+        self._history: list = []
+        self._iter_start = perf_counter()
+        # Pending accumulators: submits since the last record_iteration.
+        self._p_calls = 0
+        self._p_hits = 0
+        self._p_attempts = 0
+        self._p_degraded = False
+        self._p_seconds = 0.0
+        # Session totals.
+        self._spmv_calls = 0
+        self._cache_hits = 0
+        self._attempts = 0
+        self._degraded_spmvs = 0
+        self._simulated_seconds = 0.0
+        self._wall_seconds = 0.0
+
+    # -- lifecycle -------------------------------------------------------
+    def __enter__(self) -> "SolverSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Close the server if this session owns it (idempotent)."""
+        if self._owns_server:
+            self.server.close()
+
+    # -- the solver-facing surface ---------------------------------------
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """``A @ x`` through the serving layer; accounts the submit."""
+        res = self.server.submit(self.matrix, x)
+        self._p_calls += 1
+        self._p_hits += 1 if res.cache_hit else 0
+        self._p_attempts += res.attempts
+        self._p_degraded |= res.degraded
+        self._p_seconds += res.seconds
+        self._spmv_calls += 1
+        self._cache_hits += 1 if res.cache_hit else 0
+        self._attempts += res.attempts
+        self._degraded_spmvs += 1 if res.degraded else 0
+        self._simulated_seconds += res.seconds
+        return res.y
+
+    def record_iteration(self, residual_norm: float) -> IterationRecord:
+        """Close the current iteration: latency into the SLO monitor,
+        one :class:`IterationRecord` appended to the history."""
+        now = perf_counter()
+        wall = now - self._iter_start
+        self.monitor.observe(wall)
+        record = IterationRecord(
+            index=len(self._history),
+            residual_norm=float(residual_norm),
+            wall_seconds=wall,
+            simulated_seconds=self._p_seconds,
+            spmv_calls=self._p_calls,
+            cache_hits=self._p_hits,
+            attempts=self._p_attempts,
+            degraded=self._p_degraded,
+        )
+        self._history.append(record)
+        self._wall_seconds += wall
+        self._iter_start = now
+        self._p_calls = 0
+        self._p_hits = 0
+        self._p_attempts = 0
+        self._p_degraded = False
+        self._p_seconds = 0.0
+        return record
+
+    def reset_clock(self) -> None:
+        """Restart the iteration wall clock (call before the first
+        iteration if setup work happened since construction)."""
+        self._iter_start = perf_counter()
+
+    # -- observability ---------------------------------------------------
+    @property
+    def history(self) -> Tuple[IterationRecord, ...]:
+        """Every recorded iteration so far, in order."""
+        return tuple(self._history)
+
+    def residuals(self) -> Tuple[float, ...]:
+        """The convergence history as residual norms only."""
+        return tuple(r.residual_norm for r in self._history)
+
+    def health_snapshot(self) -> Dict[str, Any]:
+        """The iteration-latency monitor's health (``no-data`` before
+        the first recorded iteration)."""
+        return self.monitor.health_snapshot()
+
+    def stats(self) -> SolverSessionStats:
+        """Immutable snapshot of the session accounting."""
+        return SolverSessionStats(
+            iterations=len(self._history),
+            spmv_calls=self._spmv_calls,
+            cache_hits=self._cache_hits,
+            attempts=self._attempts,
+            degraded_spmvs=self._degraded_spmvs,
+            simulated_seconds=self._simulated_seconds,
+            wall_seconds=self._wall_seconds,
+        )

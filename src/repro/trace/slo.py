@@ -171,24 +171,39 @@ class SLOMonitor:
         return self._quantiles.quantile(q)
 
     def health_snapshot(self) -> Dict[str, object]:
-        """Point-in-time health: quantiles vs bounds, breach counts."""
+        """Point-in-time health: quantiles vs bounds, breach counts.
+
+        An empty window reports ``status="no-data"`` rather than a
+        silent ``"ok"``: NaN quantiles compare false against every
+        bound, and "we have not observed a single request" must never
+        read as "the SLO is met".  From the first observation on, the
+        status is ``"ok"``/``"breached"`` as usual (a window of one
+        reports that observation as every quantile).
+        """
         self._refresh_gauges()
         values = self._quantiles.quantiles([q for _, q in _QUANTILES])
         quantiles = {
             name: values[q] for name, q in _QUANTILES
         }
         bounds = self.target.bounds()
+        window = len(self._quantiles)
         breaching = sorted(
             name for name, bound in bounds.items()
             if quantiles[name] == quantiles[name] and quantiles[name] > bound
         )
+        if window == 0:
+            status = "no-data"
+        elif breaching:
+            status = "breached"
+        else:
+            status = "ok"
         return {
-            "status": "breached" if breaching else "ok",
+            "status": status,
             "breaching": breaching,
             "quantiles": quantiles,
             "targets": bounds,
             "breaches": self.breaches,
-            "window": len(self._quantiles),
+            "window": window,
             "observed": self._quantiles.observed,
         }
 
