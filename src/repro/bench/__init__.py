@@ -6,7 +6,9 @@ text report; the pytest-benchmark files under ``benchmarks/`` are thin
 wrappers that call a driver, print/persist its report and time it.
 Shared setup (trained tuners, the representative suite) lives in
 :mod:`repro.bench.harness` with in-process caching so one training run
-serves every experiment.
+serves every experiment.  :mod:`repro.bench.loadgen` adds the
+deterministic multi-tenant load generator/simulator behind
+``benchmarks/bench_multitenant.py``.
 """
 
 from repro.bench.harness import (
@@ -14,5 +16,31 @@ from repro.bench.harness import (
     bench_context,
     representative_suite,
 )
+from repro.bench.loadgen import (
+    GeneratedRequest,
+    LoadReport,
+    SimClock,
+    TenantProfile,
+    TrafficReport,
+    WorkloadSpec,
+    constant_service,
+    generate,
+    matrix_service_model,
+    simulate,
+)
 
-__all__ = ["BenchContext", "bench_context", "representative_suite"]
+__all__ = [
+    "BenchContext",
+    "bench_context",
+    "representative_suite",
+    "SimClock",
+    "TenantProfile",
+    "WorkloadSpec",
+    "GeneratedRequest",
+    "generate",
+    "constant_service",
+    "matrix_service_model",
+    "simulate",
+    "TrafficReport",
+    "LoadReport",
+]

@@ -1,0 +1,634 @@
+"""Deterministic multi-tenant load generation and simulation.
+
+The front door's overload behaviour ("latency traffic keeps its SLO at
+2x overload; shedding lands on batch") must be *provable*, not observed
+once on a lucky machine.  This module makes it provable by moving the
+whole experiment into simulated seconds:
+
+- :class:`SimClock` -- a hand-advanced monotonic clock, injected into
+  the :class:`~repro.serve.frontdoor.FrontDoor`, its token buckets and
+  its aging queue, so rate limiting, aging and deadlines all run on
+  simulated time;
+- :func:`generate` -- seeded **open-model** arrivals (per-tenant
+  Poisson processes with Zipf-skewed matrix popularity);
+- :func:`simulate` -- a discrete-event loop serving either generated
+  open-model traffic or **closed-loop** clients (fixed concurrency,
+  think time, arrival rate emerges from service latency) against a
+  fixed number of simulated servers, shedding through the front door
+  exactly as production would;
+- :class:`LoadReport` -- per-tenant and per-priority-class simulated
+  latency quantiles, shed accounting by reason and SLO attainment.
+
+Same spec + same seed => byte-identical report, on any machine, with
+zero wall-clock dependence.  ``benchmarks/bench_multitenant.py`` builds
+its overload gates on top of this, and ``tests/test_frontdoor.py`` pins
+the invariants.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import (
+    DeadlineExceededError,
+    QueueFullError,
+    TenantRateLimitError,
+)
+from repro.observe.registry import MetricsRegistry
+from repro.serve.frontdoor import (
+    PRIORITIES,
+    AdmissionPolicy,
+    AdmissionTicket,
+    FrontDoor,
+    FrontDoorStats,
+)
+
+__all__ = [
+    "SimClock",
+    "TenantProfile",
+    "WorkloadSpec",
+    "GeneratedRequest",
+    "generate",
+    "matrix_service_model",
+    "constant_service",
+    "simulate",
+    "TrafficReport",
+    "LoadReport",
+]
+
+#: A shed closed-loop client never retries at the same instant.
+_MIN_BACKOFF = 1e-3
+
+#: Reported latency quantiles.
+_QUANTILES = (("p50", 50.0), ("p95", 95.0), ("p99", 99.0))
+
+
+class SimClock:
+    """Hand-advanced monotonic clock for simulated-seconds experiments.
+
+    Calling the instance returns the current simulated time, so it
+    plugs in anywhere a ``time.monotonic``-style callable is accepted
+    (:class:`~repro.serve.frontdoor.FrontDoor`, ``TokenBucket``,
+    ``AgingQueue``).  Time only moves via :meth:`advance_to` /
+    :meth:`advance`; moving backwards is a bug in the driver and
+    raises.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def __call__(self) -> float:
+        return self._now
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        """Jump to absolute simulated time ``t`` (monotonic)."""
+        if t < self._now:
+            raise ValueError(
+                f"clock cannot move backwards: {t} < {self._now}"
+            )
+        self._now = float(t)
+
+    def advance(self, dt: float) -> None:
+        """Move forward ``dt`` simulated seconds."""
+        if dt < 0:
+            raise ValueError(f"dt must be >= 0, got {dt}")
+        self._now += float(dt)
+
+
+# ----------------------------------------------------------------------
+# Workload specification
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TenantProfile:
+    """One tenant's traffic shape and objectives.
+
+    ``rate`` drives the open model (mean arrivals/second of the
+    tenant's Poisson process); ``clients``/``think_time`` drive the
+    closed model (each client submits, waits for completion, thinks,
+    repeats).  ``deadline`` is the relative budget attached to every
+    request; ``slo`` is the simulated-latency bound the report scores
+    attainment against (not enforced, only measured).
+    """
+
+    name: str
+    priority: str = "latency"
+    rate: float = 50.0
+    clients: int = 4
+    think_time: float = 0.0
+    deadline: Optional[float] = None
+    slo: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.priority not in PRIORITIES:
+            raise ValueError(
+                f"priority must be one of {PRIORITIES}, "
+                f"got {self.priority!r}"
+            )
+        if self.rate < 0:
+            raise ValueError(f"rate must be >= 0, got {self.rate}")
+        if self.clients <= 0:
+            raise ValueError(f"clients must be > 0, got {self.clients}")
+        if self.think_time < 0:
+            raise ValueError(
+                f"think_time must be >= 0, got {self.think_time}"
+            )
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(f"deadline must be > 0, got {self.deadline}")
+        if self.slo is not None and self.slo <= 0:
+            raise ValueError(f"slo must be > 0, got {self.slo}")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A complete, reproducible multi-tenant workload description."""
+
+    tenants: Tuple[TenantProfile, ...]
+    duration: float = 10.0
+    #: ``"open"`` (Poisson arrivals at ``rate``) or ``"closed"``
+    #: (fixed ``clients`` per tenant; rate emerges from latency).
+    model: str = "open"
+    n_matrices: int = 16
+    #: Zipf popularity exponent: matrix ``i`` drawn with weight
+    #: ``(i+1) ** -alpha`` -- a heavy-tailed hot set, as plan caches see.
+    popularity_alpha: float = 1.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.tenants:
+            raise ValueError("workload needs at least one tenant")
+        names = [t.name for t in self.tenants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tenant names: {names}")
+        if self.duration <= 0:
+            raise ValueError(f"duration must be > 0, got {self.duration}")
+        if self.model not in ("open", "closed"):
+            raise ValueError(
+                f"model must be 'open' or 'closed', got {self.model!r}"
+            )
+        if self.n_matrices <= 0:
+            raise ValueError(
+                f"n_matrices must be > 0, got {self.n_matrices}"
+            )
+        if self.popularity_alpha < 0:
+            raise ValueError(
+                f"popularity_alpha must be >= 0, "
+                f"got {self.popularity_alpha}"
+            )
+
+    def scaled(self, factor: float) -> "WorkloadSpec":
+        """The same workload at ``factor``x intensity (overload knob).
+
+        Open model scales every tenant's arrival rate; closed model
+        scales the client population (rounded up, never below one).
+        """
+        if factor <= 0:
+            raise ValueError(f"factor must be > 0, got {factor}")
+        if self.model == "open":
+            tenants = tuple(
+                replace(t, rate=t.rate * factor) for t in self.tenants
+            )
+        else:
+            tenants = tuple(
+                replace(t, clients=max(1, math.ceil(t.clients * factor)))
+                for t in self.tenants
+            )
+        return replace(self, tenants=tenants)
+
+
+@dataclass(frozen=True)
+class GeneratedRequest:
+    """One request as the generator/simulator sees it."""
+
+    arrival: float
+    tenant: str
+    priority: str
+    matrix_id: int
+    deadline: Optional[float]
+    #: Closed-model client index; ``None`` for open-model arrivals.
+    client: Optional[int] = None
+
+
+def _popularity(spec: WorkloadSpec) -> np.ndarray:
+    weights = np.arange(1, spec.n_matrices + 1, dtype=np.float64)
+    weights = weights ** -spec.popularity_alpha
+    return weights / weights.sum()
+
+
+def generate(spec: WorkloadSpec) -> List[GeneratedRequest]:
+    """Seeded open-model arrivals, merged across tenants by time.
+
+    Each tenant is an independent Poisson process (exponential
+    inter-arrival gaps at its ``rate``) over ``[0, duration)``; matrix
+    ids are drawn from the shared Zipf popularity.  Only meaningful for
+    ``model="open"`` specs (the closed model creates its requests
+    inside :func:`simulate`, because arrivals depend on completions).
+    """
+    if spec.model != "open":
+        raise ValueError(
+            f"generate() is for open-model specs, got {spec.model!r}"
+        )
+    rng = np.random.default_rng(spec.seed)
+    weights = _popularity(spec)
+    requests: List[GeneratedRequest] = []
+    for profile in spec.tenants:
+        if profile.rate == 0:
+            continue
+        t = 0.0
+        while True:
+            t += rng.exponential(1.0 / profile.rate)
+            if t >= spec.duration:
+                break
+            requests.append(GeneratedRequest(
+                arrival=t,
+                tenant=profile.name,
+                priority=profile.priority,
+                matrix_id=int(rng.choice(spec.n_matrices, p=weights)),
+                deadline=profile.deadline,
+            ))
+    requests.sort(key=lambda r: (r.arrival, r.tenant))
+    return requests
+
+
+# ----------------------------------------------------------------------
+# Service-time models
+# ----------------------------------------------------------------------
+ServiceModel = Callable[[GeneratedRequest], float]
+
+
+def constant_service(seconds: float) -> ServiceModel:
+    """Every request takes exactly ``seconds`` simulated seconds."""
+    if seconds <= 0:
+        raise ValueError(f"seconds must be > 0, got {seconds}")
+    return lambda req: seconds
+
+
+def matrix_service_model(
+    spec: WorkloadSpec,
+    *,
+    base: float = 1e-3,
+    spread: float = 4.0,
+) -> ServiceModel:
+    """Per-matrix deterministic service times spanning ``spread``x.
+
+    Matrix ``i`` costs between ``base`` (matrix 0) and ``base *
+    spread`` (the last matrix), geometrically spaced -- popular
+    matrices are cheap (their plans are tuned and cached), tail
+    matrices are expensive.  Deterministic in the spec's seed-free
+    structure, so the same request always costs the same.
+    """
+    if base <= 0:
+        raise ValueError(f"base must be > 0, got {base}")
+    if spread < 1:
+        raise ValueError(f"spread must be >= 1, got {spread}")
+    times = base * np.geomspace(1.0, spread, num=spec.n_matrices)
+
+    def service(req: GeneratedRequest) -> float:
+        return float(times[req.matrix_id])
+
+    return service
+
+
+# ----------------------------------------------------------------------
+# Reports
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TrafficReport:
+    """Accounting for one traffic slice (a tenant or a priority class).
+
+    ``slo_attainment`` is the fraction of *completed* requests within
+    the SLO bound; combine with ``shed``/``offered`` for a goodput
+    view (``within_slo / offered``).  Latency quantiles are simulated
+    seconds from arrival to completion (queueing + service); NaN when
+    nothing completed.
+    """
+
+    offered: int
+    admitted: int
+    completed: int
+    shed: Dict[str, int] = field(default_factory=dict)
+    latency: Dict[str, float] = field(default_factory=dict)
+    slo: Optional[float] = None
+    within_slo: int = 0
+
+    @property
+    def shed_total(self) -> int:
+        return sum(self.shed.values())
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of completed requests within the SLO (NaN if n/a)."""
+        if self.slo is None or self.completed == 0:
+            return float("nan")
+        return self.within_slo / self.completed
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "completed": self.completed,
+            "shed": dict(self.shed),
+            "shed_total": self.shed_total,
+            "latency": dict(self.latency),
+            "slo": self.slo,
+            "within_slo": self.within_slo,
+            "slo_attainment": self.slo_attainment,
+        }
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Everything one :func:`simulate` run measured."""
+
+    spec_model: str
+    duration: float
+    seed: int
+    servers: int
+    tenants: Dict[str, TrafficReport]
+    classes: Dict[str, TrafficReport]
+    total: TrafficReport
+    frontdoor: FrontDoorStats
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready form (what the benchmark persists)."""
+        return {
+            "model": self.spec_model,
+            "duration": self.duration,
+            "seed": self.seed,
+            "servers": self.servers,
+            "tenants": {
+                name: report.as_dict()
+                for name, report in sorted(self.tenants.items())
+            },
+            "classes": {
+                name: report.as_dict()
+                for name, report in sorted(self.classes.items())
+            },
+            "total": self.total.as_dict(),
+        }
+
+    def describe(self) -> str:
+        """Readable summary (CLI / benchmark logs)."""
+        lines = [
+            f"load report         : {self.spec_model} model, "
+            f"{self.duration:g}s simulated, {self.servers} server(s), "
+            f"seed {self.seed}",
+            f"  total             : {self.total.offered} offered, "
+            f"{self.total.completed} completed, "
+            f"{self.total.shed_total} shed",
+        ]
+        for scope, reports in (("class", self.classes),
+                               ("tenant", self.tenants)):
+            for name in sorted(reports):
+                r = reports[name]
+                p99 = r.latency.get("p99", float("nan"))
+                p99_text = ("n/a" if p99 != p99
+                            else f"p99 {p99 * 1e3:.3f} ms")
+                att = r.slo_attainment
+                att_text = ("" if att != att
+                            else f", SLO attainment {att:.1%}")
+                sheds = ", ".join(
+                    f"{k}={v}" for k, v in sorted(r.shed.items()) if v
+                ) or "none"
+                lines.append(
+                    f"  {scope} {name:<12s}: {r.offered} offered, "
+                    f"{r.completed} done, shed {sheds}, "
+                    f"{p99_text}{att_text}"
+                )
+        return "\n".join(lines)
+
+
+class _Tally:
+    """Mutable accumulator behind one :class:`TrafficReport`."""
+
+    __slots__ = ("offered", "admitted", "completed", "shed",
+                 "latencies", "slo", "within_slo")
+
+    def __init__(self, slo: Optional[float] = None):
+        self.offered = 0
+        self.admitted = 0
+        self.completed = 0
+        self.shed: Dict[str, int] = {}
+        self.latencies: List[float] = []
+        self.slo = slo
+        self.within_slo = 0
+
+    def record_shed(self, reason: str) -> None:
+        self.shed[reason] = self.shed.get(reason, 0) + 1
+
+    def record_done(self, latency: float) -> None:
+        self.completed += 1
+        self.latencies.append(latency)
+        if self.slo is not None and latency <= self.slo:
+            self.within_slo += 1
+
+    def report(self) -> TrafficReport:
+        if self.latencies:
+            arr = np.asarray(self.latencies)
+            latency = {
+                name: float(np.percentile(arr, q))
+                for name, q in _QUANTILES
+            }
+            latency["mean"] = float(arr.mean())
+        else:
+            latency = {name: float("nan") for name, _ in _QUANTILES}
+            latency["mean"] = float("nan")
+        return TrafficReport(
+            offered=self.offered,
+            admitted=self.admitted,
+            completed=self.completed,
+            shed=dict(self.shed),
+            latency=latency,
+            slo=self.slo,
+            within_slo=self.within_slo,
+        )
+
+
+# ----------------------------------------------------------------------
+# Discrete-event simulation
+# ----------------------------------------------------------------------
+def simulate(
+    spec: WorkloadSpec,
+    policy: AdmissionPolicy,
+    *,
+    service_time: Optional[ServiceModel] = None,
+    servers: int = 1,
+    registry: Optional[MetricsRegistry] = None,
+) -> LoadReport:
+    """Run ``spec`` against a front door over ``servers`` simulated
+    servers; return the full :class:`LoadReport`.
+
+    Every arrival goes through :meth:`FrontDoor.admit` (token bucket,
+    per-tenant bound, deadline feasibility); admitted requests wait in
+    the front door's :class:`~repro.serve.frontdoor.AgingQueue` and are
+    dispatched strict-priority-with-aging onto the first free server.
+    A queued request whose absolute deadline passes before dispatch is
+    dropped via :meth:`FrontDoor.shed_expired` -- exactly the pull-side
+    shedding a production dispatcher performs.  Closed-loop clients
+    re-submit after completion (or shed) plus an exponential think
+    time.
+
+    Determinism: one seeded RNG drives every draw, the clock is a
+    :class:`SimClock`, and event ties break on insertion order -- the
+    same spec/policy/seed yields a byte-identical report.
+    """
+    if servers <= 0:
+        raise ValueError(f"servers must be > 0, got {servers}")
+    service = service_time if service_time is not None \
+        else matrix_service_model(spec)
+    rng = np.random.default_rng(spec.seed)
+    weights = _popularity(spec)
+    clock = SimClock()
+    fd = FrontDoor(
+        policy, clock=clock,
+        registry=MetricsRegistry() if registry is None else registry,
+    )
+    profiles = {t.name: t for t in spec.tenants}
+
+    tenant_tally = {t.name: _Tally(slo=t.slo) for t in spec.tenants}
+    class_slo = {
+        p: min(
+            (t.slo for t in spec.tenants
+             if t.priority == p and t.slo is not None),
+            default=None,
+        )
+        for p in PRIORITIES
+    }
+    class_tally = {p: _Tally(slo=class_slo[p]) for p in PRIORITIES}
+    total_tally = _Tally()
+
+    #: (time, tiebreak, kind, payload) -- kind 0 = finish, 1 = arrive,
+    #: so completions at time t free their server before arrivals at t
+    #: are admitted (matches a real dispatcher's release-then-admit).
+    heap: List[Tuple[float, int, int, object]] = []
+    tiebreak = itertools.count()
+    free_servers = servers
+
+    def draw_matrix() -> int:
+        return int(rng.choice(spec.n_matrices, p=weights))
+
+    def think(profile: TenantProfile) -> float:
+        if profile.think_time == 0:
+            return _MIN_BACKOFF
+        return max(_MIN_BACKOFF,
+                   float(rng.exponential(profile.think_time)))
+
+    def schedule_client(profile: TenantProfile, client: int,
+                        at: float) -> None:
+        if at >= spec.duration:
+            return
+        req = GeneratedRequest(
+            arrival=at,
+            tenant=profile.name,
+            priority=profile.priority,
+            matrix_id=draw_matrix(),
+            deadline=profile.deadline,
+            client=client,
+        )
+        heapq.heappush(heap, (at, next(tiebreak), 1, req))
+
+    if spec.model == "open":
+        for req in generate(spec):
+            heapq.heappush(
+                heap, (req.arrival, next(tiebreak), 1, req)
+            )
+    else:
+        for profile in spec.tenants:
+            for client in range(profile.clients):
+                # Stagger first arrivals so clients do not stampede
+                # the bucket at t=0 in lockstep.
+                schedule_client(
+                    profile, client, float(rng.uniform(0.0, _MIN_BACKOFF))
+                )
+
+    def tallies(tenant: str, priority: str):
+        return (tenant_tally[tenant], class_tally[priority], total_tally)
+
+    def client_continue(req: GeneratedRequest, at: float) -> None:
+        if spec.model == "closed" and req.client is not None:
+            profile = profiles[req.tenant]
+            schedule_client(profile, req.client, at + think(profile))
+
+    def dispatch() -> None:
+        nonlocal free_servers
+        while free_servers > 0:
+            item = fd.queue.pop()
+            if item is None:
+                return
+            req, ticket = item.payload
+            assert isinstance(ticket, AdmissionTicket)
+            if fd.shed_expired(ticket):
+                # Budget ran out while queued: drop, do not serve late.
+                fd.release(ticket)
+                for tally in tallies(req.tenant, item.priority):
+                    tally.record_shed("deadline")
+                client_continue(req, clock.now)
+                continue
+            free_servers -= 1
+            finish_at = clock.now + float(service(req))
+            heapq.heappush(
+                heap,
+                (finish_at, next(tiebreak), 0, (req, item.priority, ticket)),
+            )
+
+    while heap:
+        t, _, kind, payload = heapq.heappop(heap)
+        clock.advance_to(t)
+        if kind == 0:  # finish
+            req, priority, ticket = payload
+            fd.release(ticket)
+            free_servers += 1
+            latency = t - req.arrival
+            for tally in tallies(req.tenant, priority):
+                tally.record_done(latency)
+            client_continue(req, t)
+            dispatch()
+            continue
+        req = payload
+        for tally in tallies(req.tenant, req.priority):
+            tally.offered += 1
+        try:
+            ticket = fd.admit(
+                req.tenant, priority=req.priority, deadline=req.deadline
+            )
+        except TenantRateLimitError:
+            reason = "rate"
+        except QueueFullError:
+            reason = "queue"
+        except DeadlineExceededError:
+            reason = "deadline"
+        else:
+            for tally in tallies(req.tenant, ticket.priority):
+                tally.admitted += 1
+            fd.queue.push(req.tenant, ticket.priority, (req, ticket))
+            dispatch()
+            continue
+        for tally in tallies(req.tenant, req.priority):
+            tally.record_shed(reason)
+        client_continue(req, t)
+
+    return LoadReport(
+        spec_model=spec.model,
+        duration=spec.duration,
+        seed=spec.seed,
+        servers=servers,
+        tenants={
+            name: tally.report() for name, tally in tenant_tally.items()
+        },
+        classes={
+            p: tally.report() for p, tally in class_tally.items()
+        },
+        total=total_tally.report(),
+        frontdoor=fd.stats(),
+    )

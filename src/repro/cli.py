@@ -12,9 +12,12 @@ Eight commands cover the deployment workflow:
 - ``serve-demo`` -- drive an :class:`~repro.serve.SpMVServer` with
   repeated single and batched traffic and print the serving stats
   (plan-cache hit rate, per-stage seconds, launches amortised); pass
-  ``--metrics`` to also dump the metrics registry, or
+  ``--metrics`` to also dump the metrics registry,
   ``--workload solver`` to replace the mixed traffic with a CG solve
-  whose every iteration rides the serving layer;
+  whose every iteration rides the serving layer, or
+  ``--tenants N`` (optionally with ``--overload FACTOR``) to serve
+  mixed-tenant traffic through the admission front door and print
+  per-tenant shedding + admission stats;
 - ``solve``  -- run an iterative solver (CG, BiCGSTAB, Jacobi, power
   iteration) end to end through the server, with optional sharding and
   chaos, and print the convergence history + per-iteration SLO health;
@@ -38,6 +41,7 @@ Examples
     python -m repro serve-demo --shards 4 --coalesce --trace \\
         --trace-out trace.json
     python -m repro serve-demo --workload solver --requests 200
+    python -m repro serve-demo --tenants 3 --overload 2 --requests 48
     python -m repro solve --method cg --matrix spd:2000 --shards 4 \\
         --backend process
     python -m repro solve --method jacobi --matrix spd:2000 --chaos
@@ -79,7 +83,7 @@ from repro.resilient import (
     ResiliencePolicy,
     RetryPolicy,
 )
-from repro.serve import SpMVServer
+from repro.serve import AdmissionPolicy, SpMVServer, TenantConfig
 from repro.shard import PartitionStrategy
 from repro.shard.executor import ShardingPolicy
 from repro.shard.scheduler import CoalescePolicy
@@ -234,6 +238,63 @@ def _drive_demo_traffic(server: SpMVServer, args: argparse.Namespace) -> bool:
     return ok
 
 
+def _drive_tenant_traffic(server: SpMVServer, args: argparse.Namespace) -> bool:
+    """Mixed-tenant traffic through the front door; True when verified.
+
+    ``--tenants N`` latency tenants split ``--requests`` submissions
+    evenly; a ``firehose`` batch tenant offers ``--requests`` more,
+    scaled by ``--overload``.  The firehose is rate-limited and
+    pending-bounded by the admission policy, so at overload its excess
+    sheds (rate/queue) while the latency tenants keep being admitted --
+    the per-tenant accounting below is the demo's point.
+    """
+    from repro.errors import (
+        DeadlineExceededError,
+        QueueFullError,
+        TenantRateLimitError,
+    )
+
+    rng = np.random.default_rng(args.seed)
+    families = sorted(_CLI_FAMILIES)
+    matrices = [
+        _CLI_FAMILIES[families[i % len(families)]](args.size, args.seed + i)
+        for i in range(args.matrices)
+    ]
+    tenants = [f"tenant-{i}" for i in range(args.tenants)]
+    n_fire = max(1, int(round(args.requests * args.overload)))
+    print(f"workload: {args.requests} latency requests across "
+          f"{len(tenants)} tenants + {n_fire} batch requests from "
+          f"'firehose' ({args.overload:g}x intensity)\n")
+    plan = [
+        (tenants[i % len(tenants)], "latency", i)
+        for i in range(args.requests)
+    ] + [("firehose", "batch", i) for i in range(n_fire)]
+    ok = True
+    admitted = 0
+    shed: dict = {}
+    for tenant, priority, i in plan:
+        m = matrices[i % len(matrices)]
+        x = rng.standard_normal(m.ncols)
+        try:
+            res = server.submit(m, x, tenant=tenant, priority=priority)
+        except (TenantRateLimitError, QueueFullError,
+                DeadlineExceededError) as exc:
+            reason = {"TenantRateLimitError": "rate",
+                      "QueueFullError": "queue"}.get(
+                type(exc).__name__, "deadline")
+            shed[tenant, reason] = shed.get((tenant, reason), 0) + 1
+            continue
+        admitted += 1
+        ok &= bool(np.allclose(res.y, m @ x, atol=1e-8))
+    print(f"admitted: {admitted}/{len(plan)}")
+    for (tenant, reason), n in sorted(shed.items()):
+        print(f"  shed {tenant:12s} ({reason:8s}): {n}")
+    if not shed:
+        print("  no requests shed (try a higher --overload)")
+    print()
+    return ok
+
+
 def _drive_solver_traffic(server: SpMVServer, args: argparse.Namespace) -> bool:
     """A CG solve as demo traffic: every iteration is a submit."""
     from repro.solvers import SolverSession, cg
@@ -353,6 +414,26 @@ def _build_demo_server(args: argparse.Namespace) -> SpMVServer:
         tracing = TracingPolicy(slo=SLOTarget(p99=slo_p99))
         print(f"tracing: on (ring capacity {tracing.recorder_capacity}, "
               f"SLO p99 <= {slo_p99 * 1e3:.1f} ms)")
+    admission = None
+    if getattr(args, "tenants", 0):
+        # The firehose's burst covers exactly the 1x offered load, so
+        # --overload 1 admits everything and --overload 2 sheds ~half
+        # of the batch traffic while latency tenants stay unlimited.
+        burst = float(max(1, getattr(args, "requests", 16)))
+        admission = AdmissionPolicy(
+            burst=max(burst, 64.0),
+            tenants={
+                "firehose": TenantConfig(
+                    priority="batch", rate=50.0, burst=burst,
+                    max_pending=32,
+                ),
+            },
+            aging_seconds=0.05,
+        )
+        print(f"admission: {args.tenants} latency tenants + 'firehose' "
+              f"batch tenant (50/s, burst {burst:g}, <=32 pending)")
+    elif getattr(args, "overload", 1.0) != 1.0:
+        print("note: --overload has no effect without --tenants")
     return SpMVServer(
         tuner,
         device=device,
@@ -361,6 +442,7 @@ def _build_demo_server(args: argparse.Namespace) -> SpMVServer:
         sharding=sharding,
         scheduler=scheduler,
         tracing=tracing,
+        admission=admission,
     )
 
 
@@ -374,6 +456,8 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
         server = _build_demo_server(args)
         if getattr(args, "workload", "mixed") == "solver":
             ok = _drive_solver_traffic(server, args)
+        elif getattr(args, "tenants", 0):
+            ok = _drive_tenant_traffic(server, args)
         else:
             ok = _drive_demo_traffic(server, args)
         server.close()  # drain the scheduler so the stats are final
@@ -417,6 +501,9 @@ def _report_traces(server: SpMVServer, trace_out: Optional[str]) -> None:
     print(f"\nSLO health: {health['status']} "
           f"(window of {health['observed']}: {quantiles}; "
           f"breaches: {breaches})")
+    for priority, cls in sorted(health.get("classes", {}).items()):
+        print(f"  class {priority:8s}: {cls['status']} "
+              f"(window of {cls['observed']})")
     if trace_out:
         Path(trace_out).write_text(rec.chrome_trace_json(indent=2))
         print(f"Chrome trace written to {trace_out} "
@@ -601,6 +688,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--slo-p99", type=float, default=0.1,
                          help="p99 latency objective in seconds for the "
                               "SLO monitor (default 0.1)")
+    p_serve.add_argument("--tenants", type=int, default=0,
+                         help="serve mixed-tenant traffic through the "
+                              "admission front door: this many latency "
+                              "tenants plus one rate-limited 'firehose' "
+                              "batch tenant (0 = no admission control)")
+    p_serve.add_argument("--overload", type=float, default=1.0,
+                         help="scale the firehose tenant's offered load "
+                              "by this factor (with --tenants; >1 "
+                              "demonstrates rate/queue shedding)")
     p_serve.add_argument("--workload", choices=("mixed", "solver"),
                          default="mixed",
                          help="demo traffic: 'mixed' (repeated + batched "

@@ -22,6 +22,7 @@ __all__ = [
     "PlanExecutionError",
     "DeadlineExceededError",
     "QueueFullError",
+    "TenantRateLimitError",
 ]
 
 
@@ -98,8 +99,42 @@ class QueueFullError(ReproError):
     """The request scheduler's admission queue is at capacity.
 
     Backpressure signal raised by
-    :class:`~repro.shard.scheduler.RequestScheduler` when accepting one
-    more request would exceed its bounded pending-queue size.  Callers
-    should shed load or retry later; blocking unboundedly would just
-    move the queue into the clients.
+    :class:`~repro.shard.scheduler.RequestScheduler` (and the
+    multi-tenant front door) when accepting one more request would
+    exceed a bounded pending-queue size.  Callers should shed load or
+    retry later; blocking unboundedly would just move the queue into
+    the clients.
+
+    ``tenant`` names the offending tenant when the *per-tenant* bound
+    tripped (so operators can tell "tenant X is flooding" apart from
+    "the whole service is saturated"); it is ``None`` for the global
+    bound.
     """
+
+    def __init__(self, message: str, *, tenant: "str | None" = None):
+        super().__init__(message)
+        self.tenant = tenant
+
+
+class TenantRateLimitError(ReproError):
+    """A tenant exhausted its token-bucket rate allowance.
+
+    Raised by the admission front door
+    (:class:`~repro.serve.frontdoor.FrontDoor`) when a tenant's bucket
+    has no token for one more request.  Distinct from
+    :class:`QueueFullError`: the queue may be empty -- this tenant is
+    simply over its contracted rate.  ``tenant`` names the tenant and
+    ``retry_after`` estimates the seconds until one token refills
+    (``0.0`` when the bucket's rate is zero).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        tenant: "str | None" = None,
+        retry_after: float = 0.0,
+    ):
+        super().__init__(message)
+        self.tenant = tenant
+        self.retry_after = retry_after

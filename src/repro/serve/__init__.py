@@ -14,7 +14,11 @@ make tuned SpMV *reusable*:
 - :mod:`repro.serve.batch` -- one plan against a multi-RHS block in a
   single dispatch sequence, on the simulated device and the real CPU;
 - :mod:`repro.serve.server` -- the :class:`SpMVServer` façade tying it
-  together behind ``submit`` / ``submit_batch`` with observable stats.
+  together behind ``submit`` / ``submit_batch`` with observable stats;
+- :mod:`repro.serve.frontdoor` -- the multi-tenant traffic layer in
+  front of the hot path: per-tenant token-bucket admission, priority
+  classes with aging, deadline shedding and fair coalescing slots
+  (``SpMVServer(admission=AdmissionPolicy(...))``).
 
 Resilience (retries, per-plan circuit breakers, graceful degradation to
 the serial reference path) plugs in through the server's ``resilience``
@@ -33,6 +37,19 @@ from repro.serve.fingerprint import (
     FingerprintCacheStats,
     MatrixFingerprint,
     fingerprint_matrix,
+)
+from repro.serve.frontdoor import (
+    DEFAULT_TENANT,
+    PRIORITIES,
+    AdmissionPolicy,
+    AdmissionTicket,
+    AgingQueue,
+    FrontDoor,
+    FrontDoorStats,
+    TenantConfig,
+    TenantStats,
+    TokenBucket,
+    fair_allocation,
 )
 from repro.serve.plan_cache import CacheStats, PlanCache
 from repro.serve.server import (
@@ -58,4 +75,15 @@ __all__ = [
     "ServerStats",
     "SubmitResult",
     "heuristic_planner",
+    "DEFAULT_TENANT",
+    "PRIORITIES",
+    "AdmissionPolicy",
+    "AdmissionTicket",
+    "AgingQueue",
+    "FrontDoor",
+    "FrontDoorStats",
+    "TenantConfig",
+    "TenantStats",
+    "TokenBucket",
+    "fair_allocation",
 ]

@@ -1,0 +1,682 @@
+"""Multi-tenant front door: admission control, priorities, shedding.
+
+The serving stack behind :class:`~repro.serve.server.SpMVServer` treats
+every request as one anonymous stream; under heavy multi-tenant traffic
+that is exactly wrong -- one hot tenant can fill the coalesce window,
+starve everyone else's deadline and turn a shared service into that
+tenant's private device.  This module is the traffic layer in front of
+the serving hot path:
+
+- :class:`TokenBucket` -- per-tenant rate limiting with an injectable
+  clock.  Exact refill arithmetic (no background thread, no sleeps):
+  the bucket lazily refills ``elapsed * rate`` tokens, capped at
+  ``burst``, on every acquire.
+- :class:`AgingQueue` -- two priority classes (``latency`` strictly
+  before ``batch``) with *aging*: a batch request that has waited
+  ``aging_seconds`` is promoted into the latency class (ordered by its
+  original arrival), so strict priority cannot starve batch traffic
+  forever.
+- :func:`fair_allocation` -- deterministic round-robin slot assignment
+  across tenants, the rule both the coalescing scheduler and the load
+  simulator use so no coalesce group is monopolised by one tenant.
+- :class:`FrontDoor` -- ties the above behind ``admit()``/``release()``:
+  token-bucket check, per-tenant pending bound, deadline feasibility
+  check, with every rejection accounted in a
+  ``frontdoor_shed_total{tenant,reason}`` metric.
+
+Everything here is deliberately *synchronous and clock-injectable*: the
+whole layer can be driven second-by-simulated-second from a test or the
+:mod:`repro.bench.loadgen` harness with zero wall-clock dependence, so
+overload behaviour is provable rather than flaky.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from time import monotonic
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+from repro.errors import (
+    DeadlineExceededError,
+    QueueFullError,
+    TenantRateLimitError,
+)
+from repro.observe.registry import MetricsRegistry, get_registry
+
+__all__ = [
+    "PRIORITIES",
+    "DEFAULT_TENANT",
+    "TokenBucket",
+    "QueueItem",
+    "AgingQueue",
+    "fair_allocation",
+    "TenantConfig",
+    "AdmissionPolicy",
+    "AdmissionTicket",
+    "TenantStats",
+    "FrontDoorStats",
+    "FrontDoor",
+]
+
+#: The two priority classes, in strict dequeue order.
+PRIORITIES = ("latency", "batch")
+
+#: Tenant requests are attributed to when the caller names none.
+DEFAULT_TENANT = "default"
+
+#: Shed reasons, as they appear in the ``frontdoor_shed_total`` metric.
+SHED_REASONS = ("rate", "queue", "deadline")
+
+Clock = Callable[[], float]
+
+
+# ----------------------------------------------------------------------
+# Token bucket
+# ----------------------------------------------------------------------
+class TokenBucket:
+    """Classic token bucket with lazy, exact refill.
+
+    Parameters
+    ----------
+    rate:
+        Tokens added per second.  ``math.inf`` disables limiting (every
+        acquire succeeds); ``0`` means the bucket never refills past
+        its initial ``burst``.
+    burst:
+        Capacity: the most tokens the bucket ever holds, and the size
+        of the burst a previously-idle tenant may send at once.
+    clock:
+        Monotonic time source.  Injectable so tests and the load
+        simulator can drive refill deterministically.
+    """
+
+    __slots__ = ("rate", "burst", "_tokens", "_last", "_lock", "_clock")
+
+    def __init__(self, rate: float, burst: float, *,
+                 clock: Clock = monotonic):
+        if rate < 0:
+            raise ValueError(f"rate must be >= 0, got {rate}")
+        if burst <= 0:
+            raise ValueError(f"burst must be > 0, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._last = clock()
+        self._lock = threading.Lock()
+        self._clock = clock
+
+    def _refill(self, now: float) -> None:
+        # A clock that steps backwards (shared fake clocks get reset in
+        # tests) must not mint negative elapsed time.
+        elapsed = max(0.0, now - self._last)
+        self._last = now
+        if self.rate == math.inf:
+            self._tokens = self.burst
+        else:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available; False (and no change) if not."""
+        if tokens <= 0:
+            raise ValueError(f"tokens must be > 0, got {tokens}")
+        with self._lock:
+            self._refill(self._clock())
+            if self._tokens + 1e-12 >= tokens:  # tolerate float refill dust
+                self._tokens = min(self._tokens - tokens, self.burst)
+                return True
+            return False
+
+    def retry_after(self, tokens: float = 1.0) -> float:
+        """Seconds until ``tokens`` will be available (0 if already are)."""
+        with self._lock:
+            self._refill(self._clock())
+            missing = tokens - self._tokens
+            if missing <= 0:
+                return 0.0
+            if self.rate == 0:
+                return math.inf
+            return missing / self.rate
+
+    @property
+    def tokens(self) -> float:
+        """Current token count (refilled to now)."""
+        with self._lock:
+            self._refill(self._clock())
+            return self._tokens
+
+
+# ----------------------------------------------------------------------
+# Priority queue with aging
+# ----------------------------------------------------------------------
+@dataclass
+class QueueItem:
+    """One queued request, as the aging queue orders it."""
+
+    tenant: str
+    priority: str
+    enqueued_at: float
+    seq: int
+    payload: Any = None
+
+    def aged(self, now: float, aging_seconds: float) -> bool:
+        """True when a batch item has waited long enough to promote."""
+        return (self.priority == "batch"
+                and now - self.enqueued_at >= aging_seconds)
+
+
+class AgingQueue:
+    """Strict-priority dequeue (``latency`` first) with batch aging.
+
+    Ordering rule at ``pop()`` time: an item's *effective* class is
+    ``latency`` if it arrived as latency traffic **or** it is a batch
+    item that has waited at least ``aging_seconds``; within an
+    effective class, items leave in arrival (``seq``) order.  Because
+    promotion is by original arrival order, an aged batch request
+    outranks every *later* arrival -- including later latency traffic
+    -- so its remaining wait is bounded by the queue depth at the
+    moment it ages, not by the arrival rate of high-priority traffic.
+    """
+
+    def __init__(self, *, aging_seconds: float = math.inf,
+                 clock: Clock = monotonic):
+        if aging_seconds < 0:
+            raise ValueError(
+                f"aging_seconds must be >= 0, got {aging_seconds}"
+            )
+        self.aging_seconds = float(aging_seconds)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._seq = itertools.count()
+        self._latency: deque[QueueItem] = deque()
+        self._batch: deque[QueueItem] = deque()
+        #: Aged batch items, already pulled ahead of ``_batch``.
+        self._promoted: deque[QueueItem] = deque()
+
+    def push(self, tenant: str, priority: str, payload: Any = None,
+             *, now: Optional[float] = None) -> QueueItem:
+        """Enqueue one request; returns its queue record."""
+        if priority not in PRIORITIES:
+            raise ValueError(
+                f"priority must be one of {PRIORITIES}, got {priority!r}"
+            )
+        item = QueueItem(
+            tenant=tenant,
+            priority=priority,
+            enqueued_at=self._clock() if now is None else now,
+            seq=next(self._seq),
+            payload=payload,
+        )
+        with self._lock:
+            (self._latency if priority == "latency" else self._batch).append(
+                item
+            )
+        return item
+
+    def _promote_aged(self, now: float) -> None:
+        # Batch arrivals are FIFO, so the aged items are exactly a
+        # prefix of the batch deque; promotion preserves seq order.
+        while self._batch and self._batch[0].aged(now, self.aging_seconds):
+            self._promoted.append(self._batch.popleft())
+
+    def pop(self, *, now: Optional[float] = None) -> Optional[QueueItem]:
+        """Dequeue the next request per the aging-priority rule."""
+        with self._lock:
+            t = self._clock() if now is None else now
+            self._promote_aged(t)
+            # Effective latency class: merge true-latency and promoted
+            # items in arrival order.
+            if self._latency and self._promoted:
+                head = (self._latency
+                        if self._latency[0].seq < self._promoted[0].seq
+                        else self._promoted)
+                return head.popleft()
+            if self._latency:
+                return self._latency.popleft()
+            if self._promoted:
+                return self._promoted.popleft()
+            if self._batch:
+                return self._batch.popleft()
+            return None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._latency) + len(self._promoted) + len(self._batch)
+
+    def depth(self, priority: str) -> int:
+        """Queued items of one *arrival* priority (promoted still batch)."""
+        with self._lock:
+            if priority == "latency":
+                return len(self._latency)
+            return len(self._promoted) + len(self._batch)
+
+
+# ----------------------------------------------------------------------
+# Fair slot allocation
+# ----------------------------------------------------------------------
+def fair_allocation(
+    demands: Mapping[str, int],
+    width: int,
+    *,
+    start: int = 0,
+) -> Dict[str, int]:
+    """Round-robin ``width`` slots across tenants with pending demand.
+
+    The fairness rule shared by the coalescing scheduler (group
+    composition) and the load simulator: cycle through the tenants in
+    the mapping's iteration order (rotated by ``start`` so remainder
+    slots do not always favour the same tenant), granting one slot per
+    turn to every tenant with remaining demand, until the slots or the
+    demand run out.
+
+    Guarantees (pinned by the property tests):
+
+    - ``sum(alloc) == min(width, sum(demands))`` -- no slot is wasted
+      while demand remains;
+    - when every tenant demands at least its equal share, each receives
+      ``width // n`` or ``width // n + 1`` slots (within one of
+      ``width / n``);
+    - a tenant with unbounded demand cannot push any other tenant below
+      ``min(demand, width // n_active)`` -- the fair floor.
+    """
+    if width < 0:
+        raise ValueError(f"width must be >= 0, got {width}")
+    active = [(t, d) for t, d in demands.items() if d > 0]
+    alloc = {t: 0 for t, _ in active}
+    if not active or width == 0:
+        return alloc
+    order = [t for t, _ in active]
+    rotation = start % len(order)
+    order = order[rotation:] + order[:rotation]
+    remaining = dict(active)
+    left = width
+    while left > 0:
+        granted = False
+        for tenant in order:
+            if left == 0:
+                break
+            if remaining[tenant] > 0:
+                remaining[tenant] -= 1
+                alloc[tenant] += 1
+                left -= 1
+                granted = True
+        if not granted:  # all demand satisfied
+            break
+    return alloc
+
+
+# ----------------------------------------------------------------------
+# Policy
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TenantConfig:
+    """Per-tenant overrides of the admission defaults.
+
+    ``rate``/``burst`` bound the tenant's token bucket; ``priority`` is
+    the class its requests ride in unless a submit overrides it;
+    ``max_pending`` bounds this tenant's in-flight admitted requests
+    (falling back to the policy-wide default when ``None``).
+    """
+
+    rate: Optional[float] = None
+    burst: Optional[float] = None
+    priority: str = "latency"
+    max_pending: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.priority not in PRIORITIES:
+            raise ValueError(
+                f"priority must be one of {PRIORITIES}, "
+                f"got {self.priority!r}"
+            )
+        if self.rate is not None and self.rate < 0:
+            raise ValueError(f"rate must be >= 0, got {self.rate}")
+        if self.burst is not None and self.burst <= 0:
+            raise ValueError(f"burst must be > 0, got {self.burst}")
+        if self.max_pending is not None and self.max_pending <= 0:
+            raise ValueError(
+                f"max_pending must be > 0, got {self.max_pending}"
+            )
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """One object configuring the whole front door.
+
+    ``SpMVServer(admission=AdmissionPolicy(...))`` turns the traffic
+    layer on (same knob pattern as ``resilience=`` / ``tracing=``); no
+    policy keeps the hot path anonymous and admission-free.
+
+    Parameters
+    ----------
+    rate:
+        Default per-tenant token refill rate (requests/second).
+        ``math.inf`` (the default) means unknown tenants are not rate
+        limited -- set it to a finite value to cap everyone.
+    burst:
+        Default bucket capacity (burst size) per tenant.
+    tenants:
+        Per-tenant :class:`TenantConfig` overrides, keyed by name.
+    max_pending_per_tenant:
+        Most admitted-but-unfinished requests one tenant may hold; one
+        more sheds with :class:`~repro.errors.QueueFullError` naming
+        the tenant.
+    aging_seconds:
+        Wait after which a queued batch request is promoted into the
+        latency class (see :class:`AgingQueue`).  ``math.inf`` disables
+        aging (pure strict priority).
+    service_estimate:
+        Estimated seconds to serve one request, used by the deadline
+        feasibility check: a request whose remaining budget is below
+        ``service_estimate * (queue_depth + 1)`` cannot make its
+        deadline and is shed *now* (cheaper than serving it late).
+        ``0`` only sheds requests whose budget is already negative.
+    fair_coalescing:
+        When True the server passes tenants through to the coalescing
+        scheduler so group slots are :func:`fair_allocation`-balanced.
+    """
+
+    rate: float = math.inf
+    burst: float = 64.0
+    tenants: Mapping[str, TenantConfig] = field(default_factory=dict)
+    max_pending_per_tenant: int = 256
+    aging_seconds: float = 0.05
+    service_estimate: float = 0.0
+    fair_coalescing: bool = True
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ValueError(f"rate must be >= 0, got {self.rate}")
+        if self.burst <= 0:
+            raise ValueError(f"burst must be > 0, got {self.burst}")
+        if self.max_pending_per_tenant <= 0:
+            raise ValueError(
+                f"max_pending_per_tenant must be > 0, "
+                f"got {self.max_pending_per_tenant}"
+            )
+        if self.aging_seconds < 0:
+            raise ValueError(
+                f"aging_seconds must be >= 0, got {self.aging_seconds}"
+            )
+        if self.service_estimate < 0:
+            raise ValueError(
+                f"service_estimate must be >= 0, got {self.service_estimate}"
+            )
+
+    def tenant_config(self, tenant: str) -> TenantConfig:
+        """The effective (defaults-filled) config for one tenant."""
+        cfg = self.tenants.get(tenant, TenantConfig())
+        return TenantConfig(
+            rate=self.rate if cfg.rate is None else cfg.rate,
+            burst=self.burst if cfg.burst is None else cfg.burst,
+            priority=cfg.priority,
+            max_pending=(self.max_pending_per_tenant
+                         if cfg.max_pending is None else cfg.max_pending),
+        )
+
+
+# ----------------------------------------------------------------------
+# Front door
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AdmissionTicket:
+    """Proof of admission: pass it back to ``release`` when served."""
+
+    tenant: str
+    priority: str
+    admitted_at: float
+    #: Absolute deadline on the front door's clock; ``None`` = no bound.
+    deadline: Optional[float]
+    seq: int
+
+
+@dataclass(frozen=True)
+class TenantStats:
+    """One tenant's admission accounting."""
+
+    admitted: int
+    shed: Dict[str, int]
+    pending: int
+
+    @property
+    def shed_total(self) -> int:
+        return sum(self.shed.values())
+
+
+@dataclass(frozen=True)
+class FrontDoorStats:
+    """Point-in-time snapshot of the front door's accounting."""
+
+    admitted: int
+    shed: int
+    tenants: Dict[str, TenantStats]
+
+    def describe(self) -> str:
+        """Readable per-tenant summary (CLI / logs)."""
+        lines = [
+            f"admitted           : {self.admitted} "
+            f"({self.shed} shed)",
+        ]
+        for name in sorted(self.tenants):
+            t = self.tenants[name]
+            sheds = ", ".join(
+                f"{reason}={n}" for reason, n in sorted(t.shed.items()) if n
+            ) or "none"
+            lines.append(
+                f"  {name:<16s} : {t.admitted} admitted, "
+                f"{t.shed_total} shed ({sheds}), {t.pending} pending"
+            )
+        return "\n".join(lines)
+
+
+class FrontDoor:
+    """Admission control in front of the serving hot path.
+
+    ``admit()`` applies three checks in order, each shedding with its
+    own exception and a ``frontdoor_shed_total{tenant,reason}`` count:
+
+    1. **rate** -- the tenant's token bucket has no token:
+       :class:`~repro.errors.TenantRateLimitError` (reason ``rate``);
+    2. **queue** -- the tenant is at its pending bound:
+       :class:`~repro.errors.QueueFullError` naming the tenant (reason
+       ``queue``);
+    3. **deadline** -- the request's budget cannot cover the estimated
+       queue-ahead service time:
+       :class:`~repro.errors.DeadlineExceededError` (reason
+       ``deadline``).  Shedding an infeasible request *at admission*
+       is the whole point: serving it late costs capacity that a
+       feasible request could have used.
+
+    Admitted requests receive an :class:`AdmissionTicket`; the caller
+    must ``release`` it when the request finishes (success or failure)
+    so the pending accounting stays truthful.  The optional
+    :attr:`queue` orders admitted work for pull-based dispatchers (the
+    load simulator; the in-process server serves synchronously and
+    only uses admit/release).
+    """
+
+    def __init__(
+        self,
+        policy: AdmissionPolicy = AdmissionPolicy(),
+        *,
+        clock: Clock = monotonic,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        self.policy = policy
+        self.clock = clock
+        self.registry = get_registry() if registry is None else registry
+        self.queue = AgingQueue(
+            aging_seconds=policy.aging_seconds, clock=clock
+        )
+        self._lock = threading.Lock()
+        self._seq = itertools.count()
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._pending: Dict[str, int] = {}
+        self._admitted: Dict[str, int] = {}
+        self._shed: Dict[Tuple[str, str], int] = {}
+        self._m_admitted: Dict[Tuple[str, str], Any] = {}
+        self._m_shed: Dict[Tuple[str, str], Any] = {}
+
+    # -- metric instruments (lazily per label set) -----------------------
+    def _admitted_counter(self, tenant: str, priority: str):
+        key = (tenant, priority)
+        counter = self._m_admitted.get(key)
+        if counter is None:
+            counter = self.registry.counter(
+                "frontdoor_admitted_total",
+                {"tenant": tenant, "priority": priority},
+                help_text="Requests admitted through the front door.",
+            )
+            self._m_admitted[key] = counter
+        return counter
+
+    def _shed_counter(self, tenant: str, reason: str):
+        key = (tenant, reason)
+        counter = self._m_shed.get(key)
+        if counter is None:
+            counter = self.registry.counter(
+                "frontdoor_shed_total",
+                {"tenant": tenant, "reason": reason},
+                help_text="Requests shed at the front door, by reason.",
+            )
+            self._m_shed[key] = counter
+        return counter
+
+    def _record_shed(self, tenant: str, reason: str) -> None:
+        with self._lock:
+            self._shed[(tenant, reason)] = (
+                self._shed.get((tenant, reason), 0) + 1
+            )
+        self._shed_counter(tenant, reason).inc()
+
+    # -- admission -------------------------------------------------------
+    def _bucket(self, tenant: str, cfg: TenantConfig) -> TokenBucket:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = TokenBucket(cfg.rate, cfg.burst, clock=self.clock)
+            self._buckets[tenant] = bucket
+        return bucket
+
+    def admit(
+        self,
+        tenant: str = DEFAULT_TENANT,
+        *,
+        priority: Optional[str] = None,
+        deadline: Optional[float] = None,
+    ) -> AdmissionTicket:
+        """Admit one request or shed it (see the class docstring).
+
+        ``deadline`` is the request's *relative* latency budget in
+        seconds (on the front door's clock); the returned ticket
+        carries the absolute deadline.
+        """
+        cfg = self.policy.tenant_config(tenant)
+        effective_priority = priority if priority is not None else cfg.priority
+        if effective_priority not in PRIORITIES:
+            raise ValueError(
+                f"priority must be one of {PRIORITIES}, "
+                f"got {effective_priority!r}"
+            )
+        if deadline is not None and deadline <= 0:
+            raise ValueError(f"deadline must be > 0, got {deadline}")
+        with self._lock:
+            bucket = self._bucket(tenant, cfg)
+            pending = self._pending.get(tenant, 0)
+        if not bucket.try_acquire():
+            self._record_shed(tenant, "rate")
+            raise TenantRateLimitError(
+                f"tenant {tenant!r} is over its rate limit "
+                f"({cfg.rate:g}/s, burst {cfg.burst:g}); "
+                f"retry after {bucket.retry_after():.3g}s",
+                tenant=tenant,
+                retry_after=bucket.retry_after(),
+            )
+        if pending >= cfg.max_pending:
+            self._record_shed(tenant, "queue")
+            raise QueueFullError(
+                f"tenant {tenant!r} queue full "
+                f"({pending}/{cfg.max_pending} pending); "
+                f"shed load or retry later",
+                tenant=tenant,
+            )
+        now = self.clock()
+        if deadline is not None:
+            # Everything this tenant already has in flight is ahead of
+            # this request; if serving all of it plus this request
+            # cannot fit the budget, the deadline is unmeetable *now*.
+            estimated = self.policy.service_estimate * (pending + 1)
+            if estimated > deadline:
+                self._record_shed(tenant, "deadline")
+                raise DeadlineExceededError(
+                    f"tenant {tenant!r} request budget {deadline:.3g}s "
+                    f"cannot be met (estimated {estimated:.3g}s for "
+                    f"{pending} queued ahead); shed at admission"
+                )
+        with self._lock:
+            self._pending[tenant] = pending + 1
+            self._admitted[tenant] = self._admitted.get(tenant, 0) + 1
+            seq = next(self._seq)
+        self._admitted_counter(tenant, effective_priority).inc()
+        return AdmissionTicket(
+            tenant=tenant,
+            priority=effective_priority,
+            admitted_at=now,
+            deadline=None if deadline is None else now + deadline,
+            seq=seq,
+        )
+
+    def release(self, ticket: AdmissionTicket) -> None:
+        """Mark one admitted request finished (success *or* failure)."""
+        with self._lock:
+            pending = self._pending.get(ticket.tenant, 0)
+            if pending <= 0:
+                raise ValueError(
+                    f"release without matching admit for tenant "
+                    f"{ticket.tenant!r}"
+                )
+            self._pending[ticket.tenant] = pending - 1
+
+    def shed_expired(self, ticket: AdmissionTicket) -> bool:
+        """Deadline check for queued tickets (pull-based dispatchers).
+
+        True (and accounted as a ``deadline`` shed) when the ticket's
+        absolute deadline has passed -- its budget can no longer be
+        met, so a dispatcher should drop it instead of serving it late.
+        The caller still owns the ``release``.
+        """
+        if ticket.deadline is None or self.clock() < ticket.deadline:
+            return False
+        self._record_shed(ticket.tenant, "deadline")
+        return True
+
+    def pending(self, tenant: str) -> int:
+        """Admitted-but-unreleased requests for one tenant."""
+        with self._lock:
+            return self._pending.get(tenant, 0)
+
+    # -- observability ---------------------------------------------------
+    def stats(self) -> FrontDoorStats:
+        """Immutable snapshot of the admission accounting."""
+        with self._lock:
+            names = (set(self._admitted) | set(self._pending)
+                     | {t for t, _ in self._shed})
+            tenants = {
+                name: TenantStats(
+                    admitted=self._admitted.get(name, 0),
+                    shed={
+                        reason: self._shed.get((name, reason), 0)
+                        for reason in SHED_REASONS
+                        if self._shed.get((name, reason), 0)
+                    },
+                    pending=self._pending.get(name, 0),
+                )
+                for name in names
+            }
+            return FrontDoorStats(
+                admitted=sum(self._admitted.values()),
+                shed=sum(self._shed.values()),
+                tenants=tenants,
+            )

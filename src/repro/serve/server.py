@@ -77,6 +77,13 @@ from repro.serve.fingerprint import (
     FingerprintCacheStats,
     MatrixFingerprint,
 )
+from repro.serve.frontdoor import (
+    DEFAULT_TENANT,
+    PRIORITIES,
+    AdmissionPolicy,
+    FrontDoor,
+    FrontDoorStats,
+)
 from repro.serve.plan_cache import CacheStats, PlanCache
 from repro.utils.validation import check_spmm_operand, check_spmv_operand
 
@@ -157,6 +164,10 @@ class SubmitResult:
     #: served by a traced, coalesced group (its root span links back to
     #: every member request, this one included); else ``None``.
     dispatch_trace_id: Optional[str] = None
+    #: Tenant the request was attributed to (multi-tenant front door).
+    tenant: str = DEFAULT_TENANT
+    #: Priority class the request rode in (``latency`` / ``batch``).
+    priority: str = "latency"
 
 
 @dataclass(frozen=True)
@@ -186,6 +197,8 @@ class ServerStats:
     shards: Optional[ShardExecutorStats] = None
     #: Fingerprint identity-cache accounting (hash-skip fast path).
     fingerprints: Optional[FingerprintCacheStats] = None
+    #: Admission accounting; ``None`` without an ``admission=`` policy.
+    frontdoor: Optional[FrontDoorStats] = None
 
     @property
     def hit_rate(self) -> float:
@@ -230,6 +243,11 @@ class ServerStats:
             lines.append("sharding:")
             lines.extend(
                 "  " + line for line in self.shards.describe().splitlines()
+            )
+        if self.frontdoor is not None:
+            lines.append("front door:")
+            lines.extend(
+                "  " + line for line in self.frontdoor.describe().splitlines()
             )
         return "\n".join(lines)
 
@@ -296,6 +314,21 @@ class SpMVServer:
         :attr:`slo` (windowed p50/p95/p99 quantile gauges, breach
         counters, ``health_snapshot()``).  ``None`` (default) keeps the
         hot path untraced: no context, no recorder, no extra work.
+    admission:
+        Optional :class:`~repro.serve.frontdoor.AdmissionPolicy`.  When
+        set, every ``submit``/``submit_batch`` passes through a
+        :class:`~repro.serve.frontdoor.FrontDoor` first: per-tenant
+        token-bucket rate limiting, per-tenant pending bounds and
+        deadline-aware shedding (rejections raise
+        :class:`~repro.errors.TenantRateLimitError` /
+        :class:`~repro.errors.QueueFullError` /
+        :class:`~repro.errors.DeadlineExceededError` and count into
+        ``frontdoor_shed_total{tenant,reason}``).  With a coalescing
+        ``scheduler`` and ``fair_coalescing`` on, tenants propagate
+        into the scheduler so batch slots are fair-allocated; with
+        ``tracing``, each priority class gets its own SLO monitor.
+        ``None`` (default) keeps the hot path anonymous and
+        admission-free -- same pattern as ``resilience=``/``tracing=``.
     """
 
     def __init__(
@@ -311,6 +344,7 @@ class SpMVServer:
         sharding: Optional[ShardingPolicy] = None,
         scheduler: Optional[CoalescePolicy] = None,
         tracing: Optional[TracingPolicy] = None,
+        admission: Optional[AdmissionPolicy] = None,
     ):
         if planner is not None:
             self._planner: Planner = planner
@@ -339,18 +373,40 @@ class SpMVServer:
         )
         self.max_rhs = max_rhs
         self.tracing = tracing
+        self.admission = admission
+        self.frontdoor: Optional[FrontDoor] = (
+            FrontDoor(admission, registry=self.registry)
+            if admission is not None else None
+        )
         self.trace_recorder: Optional[TraceRecorder] = None
         self.slo: Optional[SLOMonitor] = None
+        #: Per-priority-class SLO monitors (admission + tracing only).
+        self.slo_by_class: Dict[str, SLOMonitor] = {}
         if tracing is not None:
             self.trace_recorder = TraceRecorder(
                 capacity=tracing.recorder_capacity
             )
+            target = tracing.slo if tracing.slo is not None else SLOTarget()
             self.slo = SLOMonitor(
-                tracing.slo if tracing.slo is not None else SLOTarget(),
+                target,
                 window=tracing.latency_window,
                 registry=self.registry,
                 refresh_every=tracing.refresh_every,
             )
+            if admission is not None:
+                # One monitor per priority class: an overloaded batch
+                # class must not hide a healthy latency class (or vice
+                # versa) inside one mixed window.
+                self.slo_by_class = {
+                    priority: SLOMonitor(
+                        target,
+                        window=tracing.latency_window,
+                        registry=self.registry,
+                        refresh_every=tracing.refresh_every,
+                        labels={"class": priority},
+                    )
+                    for priority in PRIORITIES
+                }
         self._closed = False
         # Imported lazily: repro.shard.executor/scheduler import the
         # serve layer, so importing them at module scope would close an
@@ -373,6 +429,12 @@ class SpMVServer:
         if scheduler is not None:
             from repro.shard.scheduler import RequestScheduler
 
+            # The admission policy's fairness promise extends into the
+            # coalescing layer: tenants ride through to the scheduler
+            # and batch slots are fair-allocated across them.
+            if (admission is not None and admission.fair_coalescing
+                    and not scheduler.fair):
+                scheduler = replace(scheduler, fair=True)
             # Bound to the *direct* batch path: close() drains pending
             # groups through it after the public API has shut.
             self._scheduler = RequestScheduler(
@@ -546,7 +608,7 @@ class SpMVServer:
         )
 
     def _coalesced_submit(
-        self, matrix: CSRMatrix, x: np.ndarray
+        self, matrix: CSRMatrix, x: np.ndarray, tenant: str = DEFAULT_TENANT
     ) -> SubmitResult:
         """Serve one SpMV through the coalescing scheduler.
 
@@ -556,7 +618,7 @@ class SpMVServer:
         lone ``submit`` would have produced (batched kernels compute
         every column independently).
         """
-        scheduled = self._scheduler.submit(matrix, x)
+        scheduled = self._scheduler.submit(matrix, x, tenant=tenant)
         group: SubmitResult = scheduled.batch
         return SubmitResult(
             y=group.y[:, scheduled.column],
@@ -574,7 +636,12 @@ class SpMVServer:
 
     # -- tracing ---------------------------------------------------------
     def _traced_request(
-        self, kind: str, fn: Callable[[], SubmitResult]
+        self,
+        kind: str,
+        fn: Callable[[], SubmitResult],
+        *,
+        tenant: Optional[str] = None,
+        priority: Optional[str] = None,
     ) -> SubmitResult:
         """Run one request under a fresh trace and feed the SLO monitor.
 
@@ -582,23 +649,37 @@ class SpMVServer:
         whole request -- every stage span, shard-worker span, retry
         attempt and device dispatch recorded while it is active joins
         this request's trace.  Request wall latency is observed into
-        the SLO monitor whether the request succeeds or raises (a
-        failing request is still a served latency).
+        the SLO monitor (and the request's priority-class monitor, when
+        per-class monitoring is on) whether the request succeeds or
+        raises (a failing request is still a served latency).
         """
         ctx = TraceContext.root(self.trace_recorder)
+        attrs: Dict[str, Any] = {"kind": kind}
+        if tenant is not None:
+            attrs["tenant"] = tenant
+        if priority is not None:
+            attrs["priority"] = priority
         t0 = perf_counter()
         try:
             with activate_trace(ctx):
-                with span("serve.request", self.registry,
-                          attrs={"kind": kind}):
+                with span("serve.request", self.registry, attrs=attrs):
                     result = fn()
         finally:
+            elapsed = perf_counter() - t0
             if self.slo is not None:
-                self.slo.observe(perf_counter() - t0)
+                self.slo.observe(elapsed)
+            if priority is not None:
+                class_monitor = self.slo_by_class.get(priority)
+                if class_monitor is not None:
+                    class_monitor.observe(elapsed)
         return replace(result, trace_id=ctx.trace_id)
 
     def health_snapshot(self) -> Dict[str, Any]:
         """The SLO monitor's point-in-time health (tracing servers only).
+
+        With per-priority-class monitoring (``admission`` + ``tracing``
+        both set) the snapshot gains a ``classes`` key holding one
+        nested snapshot per priority class.
 
         Raises
         ------
@@ -609,21 +690,87 @@ class SpMVServer:
             raise DeviceError(
                 "health_snapshot() requires tracing=TracingPolicy(...)"
             )
-        return self.slo.health_snapshot()
+        snapshot = self.slo.health_snapshot()
+        if self.slo_by_class:
+            snapshot["classes"] = {
+                priority: monitor.health_snapshot()
+                for priority, monitor in self.slo_by_class.items()
+            }
+        return snapshot
 
     # -- serving ---------------------------------------------------------
-    def submit(self, matrix: CSRMatrix, x: np.ndarray) -> SubmitResult:
-        """Serve one SpMV request: fingerprint, plan-or-hit, execute."""
-        self._check_open()
-        if self.trace_recorder is not None:
-            return self._traced_request(
-                "single", lambda: self._submit_inner(matrix, x)
-            )
-        return self._submit_inner(matrix, x)
+    def submit(
+        self,
+        matrix: CSRMatrix,
+        x: np.ndarray,
+        *,
+        tenant: Optional[str] = None,
+        priority: Optional[str] = None,
+        deadline: Optional[float] = None,
+    ) -> SubmitResult:
+        """Serve one SpMV request: admit, fingerprint, plan-or-hit, execute.
 
-    def _submit_inner(self, matrix: CSRMatrix, x: np.ndarray) -> SubmitResult:
+        ``tenant``/``priority``/``deadline`` feed the multi-tenant
+        front door when an ``admission`` policy is configured -- an
+        over-rate, over-bound or deadline-infeasible request sheds
+        *here* with the matching exception before any planning work.
+        Without a policy they merely stamp the result (``deadline`` is
+        a relative latency budget in seconds and is ignored).
+        """
+        self._check_open()
+        return self._admitted_request(
+            "single",
+            tenant=tenant, priority=priority, deadline=deadline,
+            fn=lambda t: self._submit_inner(matrix, x, t),
+        )
+
+    def _admitted_request(
+        self,
+        kind: str,
+        *,
+        tenant: Optional[str],
+        priority: Optional[str],
+        deadline: Optional[float],
+        fn: Callable[[str], SubmitResult],
+    ) -> SubmitResult:
+        """Front-door admission + tracing wrapper around one request."""
+        resolved_tenant = DEFAULT_TENANT if tenant is None else tenant
+        ticket = None
+        if self.frontdoor is not None:
+            ticket = self.frontdoor.admit(
+                resolved_tenant, priority=priority, deadline=deadline
+            )
+            resolved_priority = ticket.priority
+        else:
+            resolved_priority = "latency" if priority is None else priority
+        try:
+            if self.trace_recorder is not None:
+                # Tenant/priority only annotate traces when the front
+                # door is on -- an anonymous server's spans (and golden
+                # trace exports) stay byte-identical to before.
+                result = self._traced_request(
+                    kind, lambda: fn(resolved_tenant),
+                    tenant=None if ticket is None else resolved_tenant,
+                    priority=None if ticket is None else resolved_priority,
+                )
+            else:
+                result = fn(resolved_tenant)
+        finally:
+            if ticket is not None:
+                self.frontdoor.release(ticket)
+        if (resolved_tenant != DEFAULT_TENANT
+                or resolved_priority != "latency"):
+            result = replace(
+                result, tenant=resolved_tenant, priority=resolved_priority
+            )
+        return result
+
+    def _submit_inner(
+        self, matrix: CSRMatrix, x: np.ndarray,
+        tenant: str = DEFAULT_TENANT,
+    ) -> SubmitResult:
         if self._scheduler is not None:
-            return self._coalesced_submit(matrix, x)
+            return self._coalesced_submit(matrix, x, tenant)
         x = self._validate_rhs(matrix, x, batch=False)
         if self._sharded is not None:
             return self._sharded_submit(matrix, x, batch=False)
@@ -670,7 +817,15 @@ class SpMVServer:
             degraded=outcome.degraded,
         )
 
-    def submit_batch(self, matrix: CSRMatrix, X: np.ndarray) -> SubmitResult:
+    def submit_batch(
+        self,
+        matrix: CSRMatrix,
+        X: np.ndarray,
+        *,
+        tenant: Optional[str] = None,
+        priority: Optional[str] = None,
+        deadline: Optional[float] = None,
+    ) -> SubmitResult:
         """Serve ``k`` right-hand sides in one request.
 
         Column ``j`` of the result is bit-identical to
@@ -680,13 +835,17 @@ class SpMVServer:
         (or no cap is set), one pass per column block otherwise, since
         each block is physically a separate dispatch sequence (see
         :func:`~repro.serve.batch.run_plan_spmm`).
+
+        ``tenant``/``priority``/``deadline`` behave as in
+        :meth:`submit`; a k-wide batch costs the tenant one admission
+        token (the front door admits *requests*, not columns).
         """
         self._check_open()
-        if self.trace_recorder is not None:
-            return self._traced_request(
-                "batch", lambda: self._direct_submit_batch(matrix, X)
-            )
-        return self._direct_submit_batch(matrix, X)
+        return self._admitted_request(
+            "batch",
+            tenant=tenant, priority=priority, deadline=deadline,
+            fn=lambda t: self._direct_submit_batch(matrix, X),
+        )
 
     def _direct_submit_batch(
         self, matrix: CSRMatrix, X: np.ndarray
@@ -844,4 +1003,8 @@ class SpMVServer:
                     if self._sharded is not None else None
                 ),
                 fingerprints=self._fingerprints.stats(),
+                frontdoor=(
+                    self.frontdoor.stats()
+                    if self.frontdoor is not None else None
+                ),
             )

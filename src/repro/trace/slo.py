@@ -95,6 +95,12 @@ class SLOMonitor:
         Metrics registry for the quantile gauges and breach counters.
     refresh_every:
         Recompute the quantile gauges every this many observations.
+    labels:
+        Extra metric labels stamped onto this monitor's gauges and
+        breach counters (e.g. ``{"class": "latency"}`` for a
+        per-priority-class monitor).  Without distinct labels, two
+        monitors on one registry would share the same instruments and
+        overwrite each other's gauges.
     """
 
     def __init__(
@@ -104,6 +110,7 @@ class SLOMonitor:
         window: int = 512,
         registry: Optional[MetricsRegistry] = None,
         refresh_every: int = 16,
+        labels: Optional[Dict[str, str]] = None,
     ):
         if refresh_every <= 0:
             raise ValueError(
@@ -112,6 +119,7 @@ class SLOMonitor:
         self.target = target
         self.registry = get_registry() if registry is None else registry
         self.refresh_every = int(refresh_every)
+        self.labels = dict(labels) if labels else {}
         self._quantiles = SlidingQuantiles(window=window)
         self._lock = threading.Lock()
         self._breaches: Dict[str, int] = {
@@ -120,7 +128,8 @@ class SLOMonitor:
         self._since_refresh = 0
         self._m_quantile = {
             name: self.registry.gauge(
-                "serve_latency_quantile_seconds", {"quantile": name},
+                "serve_latency_quantile_seconds",
+                {"quantile": name, **self.labels},
                 help_text="Windowed request-latency quantiles "
                           "(sliding window, wall seconds).",
             )
@@ -128,7 +137,8 @@ class SLOMonitor:
         }
         self._m_breaches = {
             name: self.registry.counter(
-                "slo_breaches_total", {"objective": name},
+                "slo_breaches_total",
+                {"objective": name, **self.labels},
                 help_text="Requests whose latency exceeded the "
                           "objective's bound.",
             )
