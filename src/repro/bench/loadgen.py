@@ -508,9 +508,11 @@ def simulate(
     class_tally = {p: _Tally(slo=class_slo[p]) for p in PRIORITIES}
     total_tally = _Tally()
 
-    #: (time, tiebreak, kind, payload) -- kind 0 = finish, 1 = arrive,
+    #: (time, kind, tiebreak, payload) -- kind 0 = finish, 1 = arrive,
     #: so completions at time t free their server before arrivals at t
-    #: are admitted (matches a real dispatcher's release-then-admit).
+    #: are admitted (matches a real dispatcher's release-then-admit);
+    #: the insertion-order tiebreak only breaks same-time, same-kind
+    #: ties, so it can never reorder a finish behind an arrival.
     heap: List[Tuple[float, int, int, object]] = []
     tiebreak = itertools.count()
     free_servers = servers
@@ -536,12 +538,12 @@ def simulate(
             deadline=profile.deadline,
             client=client,
         )
-        heapq.heappush(heap, (at, next(tiebreak), 1, req))
+        heapq.heappush(heap, (at, 1, next(tiebreak), req))
 
     if spec.model == "open":
         for req in generate(spec):
             heapq.heappush(
-                heap, (req.arrival, next(tiebreak), 1, req)
+                heap, (req.arrival, 1, next(tiebreak), req)
             )
     else:
         for profile in spec.tenants:
@@ -579,11 +581,11 @@ def simulate(
             finish_at = clock.now + float(service(req))
             heapq.heappush(
                 heap,
-                (finish_at, next(tiebreak), 0, (req, item.priority, ticket)),
+                (finish_at, 0, next(tiebreak), (req, item.priority, ticket)),
             )
 
     while heap:
-        t, _, kind, payload = heapq.heappop(heap)
+        t, kind, _, payload = heapq.heappop(heap)
         clock.advance_to(t)
         if kind == 0:  # finish
             req, priority, ticket = payload

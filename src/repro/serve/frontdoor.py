@@ -20,8 +20,9 @@ the serving hot path:
   across tenants, the rule both the coalescing scheduler and the load
   simulator use so no coalesce group is monopolised by one tenant.
 - :class:`FrontDoor` -- ties the above behind ``admit()``/``release()``:
-  token-bucket check, per-tenant pending bound, deadline feasibility
-  check, with every rejection accounted in a
+  per-tenant pending bound, deadline feasibility check, then the
+  token-bucket debit (last, so shed requests never burn rate budget),
+  all atomically, with every rejection accounted in a
   ``frontdoor_shed_total{tenant,reason}`` metric.
 
 Everything here is deliberately *synchronous and clock-injectable*: the
@@ -475,20 +476,24 @@ class FrontDoorStats:
 class FrontDoor:
     """Admission control in front of the serving hot path.
 
-    ``admit()`` applies three checks in order, each shedding with its
-    own exception and a ``frontdoor_shed_total{tenant,reason}`` count:
+    ``admit()`` applies three checks in order, atomically under one
+    lock acquisition (concurrent admits never race on the pending
+    count), each shedding with its own exception and a
+    ``frontdoor_shed_total{tenant,reason}`` count:
 
-    1. **rate** -- the tenant's token bucket has no token:
-       :class:`~repro.errors.TenantRateLimitError` (reason ``rate``);
-    2. **queue** -- the tenant is at its pending bound:
+    1. **queue** -- the tenant is at its pending bound:
        :class:`~repro.errors.QueueFullError` naming the tenant (reason
        ``queue``);
-    3. **deadline** -- the request's budget cannot cover the estimated
+    2. **deadline** -- the request's budget cannot cover the estimated
        queue-ahead service time:
        :class:`~repro.errors.DeadlineExceededError` (reason
        ``deadline``).  Shedding an infeasible request *at admission*
        is the whole point: serving it late costs capacity that a
-       feasible request could have used.
+       feasible request could have used;
+    3. **rate** -- the tenant's token bucket has no token:
+       :class:`~repro.errors.TenantRateLimitError` (reason ``rate``).
+       The token is debited *last*, so a request shed on the queue or
+       deadline check never burns rate budget.
 
     Admitted requests receive an :class:`AdmissionTicket`; the caller
     must ``release`` it when the request finishes (success or failure)
@@ -582,10 +587,52 @@ class FrontDoor:
             )
         if deadline is not None and deadline <= 0:
             raise ValueError(f"deadline must be > 0, got {deadline}")
+        # Checks and the pending increment happen in ONE lock
+        # acquisition: snapshotting `pending`, checking unlocked and
+        # writing the snapshot back would let two concurrent admits
+        # both read N and both write N+1, undercounting pending (and
+        # later blowing up release()).  The token is debited last so a
+        # queue/deadline shed never burns rate budget.  Shed metrics
+        # are recorded after the lock is dropped (_record_shed takes
+        # the same lock).
+        shed_reason: Optional[str] = None
+        estimated = 0.0
         with self._lock:
             bucket = self._bucket(tenant, cfg)
             pending = self._pending.get(tenant, 0)
-        if not bucket.try_acquire():
+            now = self.clock()
+            if pending >= cfg.max_pending:
+                shed_reason = "queue"
+            elif deadline is not None:
+                # Everything this tenant already has in flight is
+                # ahead of this request; if serving all of it plus
+                # this request cannot fit the budget, the deadline is
+                # unmeetable *now*.
+                estimated = self.policy.service_estimate * (pending + 1)
+                if estimated > deadline:
+                    shed_reason = "deadline"
+            if shed_reason is None and not bucket.try_acquire():
+                shed_reason = "rate"
+            if shed_reason is None:
+                self._pending[tenant] = pending + 1
+                self._admitted[tenant] = self._admitted.get(tenant, 0) + 1
+                seq = next(self._seq)
+        if shed_reason == "queue":
+            self._record_shed(tenant, "queue")
+            raise QueueFullError(
+                f"tenant {tenant!r} queue full "
+                f"({pending}/{cfg.max_pending} pending); "
+                f"shed load or retry later",
+                tenant=tenant,
+            )
+        if shed_reason == "deadline":
+            self._record_shed(tenant, "deadline")
+            raise DeadlineExceededError(
+                f"tenant {tenant!r} request budget {deadline:.3g}s "
+                f"cannot be met (estimated {estimated:.3g}s for "
+                f"{pending} queued ahead); shed at admission"
+            )
+        if shed_reason == "rate":
             self._record_shed(tenant, "rate")
             raise TenantRateLimitError(
                 f"tenant {tenant!r} is over its rate limit "
@@ -594,31 +641,6 @@ class FrontDoor:
                 tenant=tenant,
                 retry_after=bucket.retry_after(),
             )
-        if pending >= cfg.max_pending:
-            self._record_shed(tenant, "queue")
-            raise QueueFullError(
-                f"tenant {tenant!r} queue full "
-                f"({pending}/{cfg.max_pending} pending); "
-                f"shed load or retry later",
-                tenant=tenant,
-            )
-        now = self.clock()
-        if deadline is not None:
-            # Everything this tenant already has in flight is ahead of
-            # this request; if serving all of it plus this request
-            # cannot fit the budget, the deadline is unmeetable *now*.
-            estimated = self.policy.service_estimate * (pending + 1)
-            if estimated > deadline:
-                self._record_shed(tenant, "deadline")
-                raise DeadlineExceededError(
-                    f"tenant {tenant!r} request budget {deadline:.3g}s "
-                    f"cannot be met (estimated {estimated:.3g}s for "
-                    f"{pending} queued ahead); shed at admission"
-                )
-        with self._lock:
-            self._pending[tenant] = pending + 1
-            self._admitted[tenant] = self._admitted.get(tenant, 0) + 1
-            seq = next(self._seq)
         self._admitted_counter(tenant, effective_priority).inc()
         return AdmissionTicket(
             tenant=tenant,

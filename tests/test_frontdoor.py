@@ -520,6 +520,70 @@ class TestFrontDoor:
         )
         assert admitted.value == 1
 
+    def test_concurrent_admits_never_exceed_pending_bound(self):
+        # Regression: admit() used to snapshot `pending` under the
+        # lock, check unlocked, then write the stale snapshot back --
+        # two racing admits could both read N and both write N+1,
+        # overshooting max_pending and later making a matching
+        # release() raise.  The check+increment is now one atomic lock
+        # acquisition, so exactly max_pending admits win no matter the
+        # interleaving.
+        bound, contenders = 8, 32
+        fd = _frontdoor(
+            AdmissionPolicy(rate=math.inf, burst=64.0,
+                            max_pending_per_tenant=bound)
+        )
+        barrier = threading.Barrier(contenders)
+
+        def attempt():
+            barrier.wait()
+            try:
+                return fd.admit("web")
+            except QueueFullError:
+                return None
+
+        with ThreadPoolExecutor(max_workers=contenders) as pool:
+            tickets = [
+                t for t in pool.map(lambda _: attempt(), range(contenders))
+                if t is not None
+            ]
+        assert len(tickets) == bound
+        assert fd.pending("web") == bound
+        for ticket in tickets:  # every winner releases exactly once
+            fd.release(ticket)
+        assert fd.pending("web") == 0
+        stats = fd.stats().tenants["web"]
+        assert stats.admitted == bound
+        assert stats.shed == {"queue": contenders - bound}
+
+    def test_queue_shed_does_not_burn_rate_token(self):
+        # Regression: the token used to be debited before the
+        # queue/deadline checks, so shed requests permanently consumed
+        # rate budget.  rate=0 makes every token precious: with burst
+        # 2 and a pending bound of 1, a queue shed must leave the
+        # second token available for the retry after release.
+        fd = _frontdoor(AdmissionPolicy(rate=0.0, burst=2.0,
+                                        max_pending_per_tenant=1))
+        ticket = fd.admit("web")                    # token 1
+        with pytest.raises(QueueFullError):
+            fd.admit("web")                         # shed, token kept
+        fd.release(ticket)
+        ticket = fd.admit("web")                    # token 2 still there
+        fd.release(ticket)
+        with pytest.raises(TenantRateLimitError):
+            fd.admit("web")                         # bucket truly empty now
+
+    def test_deadline_shed_does_not_burn_rate_token(self):
+        fd = _frontdoor(AdmissionPolicy(rate=0.0, burst=2.0,
+                                        service_estimate=1.0))
+        ticket = fd.admit("web")                    # token 1
+        with pytest.raises(DeadlineExceededError):
+            fd.admit("web", deadline=0.5)           # infeasible, token kept
+        fd.release(ticket)
+        fd.admit("web")                             # token 2 still there
+        with pytest.raises(TenantRateLimitError):
+            fd.admit("web")
+
 
 # ----------------------------------------------------------------------
 # Coalescing scheduler: per-tenant bound + fair composition
