@@ -67,6 +67,7 @@ from repro.device.spec import DeviceSpec
 from repro.formats.csr import CSRMatrix
 from repro.formats.matrixmarket import read_matrix_market
 from repro.kernels.registry import DEFAULT_KERNEL_NAMES
+from repro.learn import LearningPolicy
 from repro.matrices import generators as gen
 from repro.matrices.collection import generate_collection
 from repro.device import SimulatedDevice
@@ -434,6 +435,17 @@ def _build_demo_server(args: argparse.Namespace) -> SpMVServer:
               f"batch tenant (50/s, burst {burst:g}, <=32 pending)")
     elif getattr(args, "overload", 1.0) != 1.0:
         print("note: --overload has no effect without --tenants")
+    learning = None
+    if getattr(args, "learn", False):
+        learning = LearningPolicy(
+            epsilon=getattr(args, "explore", 0.1),
+            max_explore_fraction=getattr(args, "explore_budget", 0.2),
+            seed=args.seed,
+        )
+        n_arms = 1 + len(learning.granularities) * len(learning.kernel_names)
+        print(f"online learning: epsilon {learning.epsilon:g}, budget "
+              f"{learning.max_explore_fraction:.0%} global / "
+              f"{learning.max_explore_per_key} per key, {n_arms} arms")
     return SpMVServer(
         tuner,
         device=device,
@@ -443,6 +455,7 @@ def _build_demo_server(args: argparse.Namespace) -> SpMVServer:
         scheduler=scheduler,
         tracing=tracing,
         admission=admission,
+        learning=learning,
     )
 
 
@@ -490,6 +503,20 @@ def _report_traces(server: SpMVServer, trace_out: Optional[str]) -> None:
     if request_roots:
         print("sample request timeline (last request):\n")
         print(rec.timeline(request_roots[-1].trace_id))
+    _print_slo_health(server)
+    if trace_out:
+        Path(trace_out).write_text(rec.chrome_trace_json(indent=2))
+        print(f"Chrome trace written to {trace_out} "
+              f"(load via chrome://tracing or https://ui.perfetto.dev)")
+
+
+def _print_slo_health(server: SpMVServer) -> None:
+    """Print the SLO health snapshot, shared by ``serve-demo``/``metrics``.
+
+    Every tracing server now carries per-class monitors (they were
+    previously admission-only), so the per-class lines appear whenever
+    tracing is on -- with or without ``--tenants``.
+    """
     health = server.health_snapshot()
     quantiles = ", ".join(
         f"{q}={v * 1e3:.3f} ms" for q, v in health["quantiles"].items()
@@ -504,10 +531,6 @@ def _report_traces(server: SpMVServer, trace_out: Optional[str]) -> None:
     for priority, cls in sorted(health.get("classes", {}).items()):
         print(f"  class {priority:8s}: {cls['status']} "
               f"(window of {cls['observed']})")
-    if trace_out:
-        Path(trace_out).write_text(rec.chrome_trace_json(indent=2))
-        print(f"Chrome trace written to {trace_out} "
-              f"(load via chrome://tracing or https://ui.perfetto.dev)")
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
@@ -528,6 +551,8 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     finally:
         set_registry(previous)
     print(server.stats().describe())
+    if server.trace_recorder is not None:
+        _print_slo_health(server)
     if args.format in ("prometheus", "both"):
         print("\n--- metrics (prometheus) ---")
         print(to_prometheus_text(registry), end="")
@@ -697,6 +722,18 @@ def build_parser() -> argparse.ArgumentParser:
                          help="scale the firehose tenant's offered load "
                               "by this factor (with --tenants; >1 "
                               "demonstrates rate/queue shedding)")
+    p_serve.add_argument("--learn", action="store_true",
+                         help="wrap the planner in the online selector: "
+                              "seed bandit priors from the tree, explore "
+                              "alternative (kernel, U) arms under a "
+                              "budget, and report pulls/regret")
+    p_serve.add_argument("--explore", type=float, default=0.1,
+                         help="exploration rate epsilon for --learn "
+                              "(default 0.1; 0 reproduces the static "
+                              "tree exactly)")
+    p_serve.add_argument("--explore-budget", type=float, default=0.2,
+                         help="global cap on the fraction of decisions "
+                              "that may explore (default 0.2)")
     p_serve.add_argument("--workload", choices=("mixed", "solver"),
                          default="mixed",
                          help="demo traffic: 'mixed' (repeated + batched "
@@ -764,6 +801,14 @@ def build_parser() -> argparse.ArgumentParser:
                            help="right-hand sides per batched submission")
     p_metrics.add_argument("--cache-capacity", type=int, default=32)
     p_metrics.add_argument("--seed", type=int, default=0)
+    p_metrics.add_argument("--trace", action="store_true",
+                           help="also trace the demo traffic and print "
+                                "the SLO health snapshot (overall + "
+                                "per-priority-class monitors)")
+    p_metrics.add_argument("--slo-p99", type=float, default=0.1,
+                           help="p99 latency objective in seconds for "
+                                "the SLO monitor (with --trace; "
+                                "default 0.1)")
     p_metrics.add_argument("--format",
                            choices=("prometheus", "json", "both"),
                            default="both",

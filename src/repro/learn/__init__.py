@@ -1,0 +1,40 @@
+"""``repro.learn``: online learning in the serving loop.
+
+Closes the loop the paper leaves open: the C5.0 selection tree is
+trained offline, but the server measures every dispatch -- so a
+budgeted bandit (:class:`OnlineSelector`) starts from the tree's
+prediction, explores alternative (kernel, U) arms under an explicit
+regret budget, logs every decision (:class:`DecisionLog`), and a
+periodic :func:`retrain` regenerates the tree from live traffic and
+hot-swaps it with versioned provenance.
+
+Wire it through ``SpMVServer(learning=LearningPolicy(...))``; with
+``learning`` unset the serving hot path is untouched.
+"""
+
+from repro.learn.log import DecisionLog, DecisionLogStats, DecisionRecord
+from repro.learn.retrain import RetrainReport, retrain
+from repro.learn.selector import (
+    TREE_ARM_NAME,
+    Arm,
+    Decision,
+    LearnStats,
+    LearningPolicy,
+    OnlineSelector,
+    feature_bucket,
+)
+
+__all__ = [
+    "Arm",
+    "Decision",
+    "DecisionLog",
+    "DecisionLogStats",
+    "DecisionRecord",
+    "LearnStats",
+    "LearningPolicy",
+    "OnlineSelector",
+    "RetrainReport",
+    "TREE_ARM_NAME",
+    "feature_bucket",
+    "retrain",
+]

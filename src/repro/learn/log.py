@@ -1,0 +1,176 @@
+"""Bounded, append-only decision log for the online selector.
+
+Every serving decision the :class:`~repro.learn.selector.OnlineSelector`
+takes is recorded here: the feature bucket it was keyed under, the arm
+chosen, the prior that seeded the arm, the latency actually observed
+(simulated and wall), and how the request ended.  The log is the
+training set for :func:`~repro.learn.retrain.retrain` -- the C5.0 tree
+regenerated from *live* traffic instead of the offline corpus -- and
+the audit trail for "why did the server pick that kernel".
+
+Bounded means bounded: the log is a ring of ``capacity`` records and
+old decisions fall off the front (counted, never silently).  Export is
+JSONL -- one decision per line, stable key order -- so logs from long
+runs stream instead of ballooning one JSON document.
+
+Wall latency is the one nondeterministic field; :meth:`replay_digest`
+therefore hashes only the deterministic fields, which is what the
+benchmark's replay gate compares across two seeded runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import IO, Any, Dict, Optional, Tuple, Union
+
+__all__ = ["DecisionRecord", "DecisionLog", "DecisionLogStats"]
+
+
+@dataclass(frozen=True)
+class DecisionRecord:
+    """One serving decision and its observed outcome."""
+
+    #: Monotone sequence number (survives ring eviction).
+    seq: int
+    #: Structural fingerprint digest of the matrix served.
+    digest: str
+    #: (bin-scheme, Table-I feature bucket) key the arms were keyed by.
+    key: str
+    #: Arm chosen (``"tree"`` or ``"u<U>:<kernel>"``).
+    arm: str
+    #: True when the arm was an exploration, not the exploit choice.
+    explored: bool
+    #: Analytical prior (simulated seconds) that seeded this arm.
+    prior_seconds: float
+    #: Simulated seconds the execution was accounted.
+    simulated_seconds: float
+    #: Wall seconds the request took end to end (nondeterministic).
+    wall_seconds: float
+    #: ``"ok"`` / ``"degraded"`` / ``"error"``.
+    outcome: str
+    #: Table-I feature vector of the matrix (retrain's ``X`` row).
+    features: Tuple[float, ...]
+    #: Selector model version the decision was taken under.
+    model_version: int
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (stable key order)."""
+        return {
+            "seq": self.seq,
+            "digest": self.digest,
+            "key": self.key,
+            "arm": self.arm,
+            "explored": self.explored,
+            "prior_seconds": self.prior_seconds,
+            "simulated_seconds": self.simulated_seconds,
+            "wall_seconds": self.wall_seconds,
+            "outcome": self.outcome,
+            "features": list(self.features),
+            "model_version": self.model_version,
+        }
+
+    def replay_fields(self) -> Dict[str, Any]:
+        """The deterministic subset (everything but wall latency)."""
+        d = self.as_dict()
+        del d["wall_seconds"]
+        return d
+
+
+@dataclass(frozen=True)
+class DecisionLogStats:
+    """Point-in-time accounting of a decision log."""
+
+    appended: int
+    dropped: int
+    size: int
+    capacity: int
+
+
+class DecisionLog:
+    """Thread-safe bounded ring of :class:`DecisionRecord`.
+
+    Append-only from the caller's point of view: records are never
+    mutated or reordered, only evicted oldest-first once ``capacity``
+    is exceeded (the eviction count is kept truthful in
+    :meth:`stats`).
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity}")
+        self.capacity = int(capacity)
+        self._records: deque = deque(maxlen=self.capacity)
+        self._lock = threading.Lock()
+        self._appended = 0
+
+    def append(self, record: DecisionRecord) -> None:
+        """Append one decision (oldest record falls off when full)."""
+        with self._lock:
+            self._records.append(record)
+            self._appended += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def records(self) -> Tuple[DecisionRecord, ...]:
+        """Immutable snapshot, oldest first."""
+        with self._lock:
+            return tuple(self._records)
+
+    def stats(self) -> DecisionLogStats:
+        with self._lock:
+            appended = self._appended
+            size = len(self._records)
+        return DecisionLogStats(
+            appended=appended,
+            dropped=appended - size,
+            size=size,
+            capacity=self.capacity,
+        )
+
+    # -- export ----------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """One JSON object per decision, oldest first, stable keys."""
+        return "".join(
+            json.dumps(r.as_dict(), sort_keys=False) + "\n"
+            for r in self.records()
+        )
+
+    def export_jsonl(self, path_or_file: Union[str, "IO[str]"]) -> int:
+        """Write :meth:`to_jsonl` to a path or open text file.
+
+        Returns the number of records written.
+        """
+        records = self.records()
+        text = "".join(
+            json.dumps(r.as_dict(), sort_keys=False) + "\n" for r in records
+        )
+        if hasattr(path_or_file, "write"):
+            path_or_file.write(text)  # type: ignore[union-attr]
+        else:
+            with open(path_or_file, "w", encoding="utf-8") as fh:
+                fh.write(text)
+        return len(records)
+
+    def replay_digest(self) -> str:
+        """SHA-256 over the deterministic fields of every record.
+
+        Two seeded runs of the same workload must produce equal digests
+        -- the decision stream (keys, arms, priors, simulated latency,
+        outcomes) is deterministic even though wall latency is not.
+        """
+        h = hashlib.sha256()
+        for r in self.records():
+            h.update(
+                json.dumps(r.replay_fields(), sort_keys=True).encode("utf-8")
+            )
+        return h.hexdigest()
+
+
+#: Convenience for optional-log call sites.
+OptionalLog = Optional[DecisionLog]

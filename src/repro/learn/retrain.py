@@ -1,0 +1,170 @@
+"""Regenerate the selection tree from logged live traffic.
+
+The offline pipeline trains the paper's C5.0 tree on a synthetic
+corpus labelled by exhaustive search.  Once the server has run for a
+while, the :class:`~repro.learn.log.DecisionLog` holds something
+better: *observed* simulated latencies of real arms on real traffic.
+:func:`retrain` turns that log into a fresh
+:class:`~repro.ml.tree.DecisionTreeClassifier` over arm labels and
+hot-swaps it behind the :class:`~repro.learn.selector.OnlineSelector`
+with versioned provenance.
+
+Labelling: for every arm-table key, the best arm is the one with the
+lowest mean *observed* simulated latency among ``ok`` outcomes (ties
+break by arm order, the tree arm first).  Each logged record then
+becomes one training row -- its own Table-I features, labelled with
+its key's best arm -- so the training distribution follows the traffic
+distribution, exactly as live retraining should.
+
+The swap is atomic and lazy: in-flight requests finish under the old
+model; the next decision per matrix digest sees the new prediction and,
+if its committed arm changed, rides the server's existing
+``invalidate()`` path to replan.  No global cache flush, no restart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.features.extract import FEATURE_NAMES
+from repro.learn.log import DecisionRecord
+from repro.learn.selector import OnlineSelector
+from repro.ml.dataset import Dataset
+from repro.ml.tree import DecisionTreeClassifier
+
+__all__ = ["RetrainReport", "retrain"]
+
+
+@dataclass(frozen=True)
+class RetrainReport:
+    """Outcome of one retrain attempt."""
+
+    #: True when a new model was installed behind the selector.
+    swapped: bool
+    #: Model version after the call (unchanged when not swapped).
+    version: int
+    #: Records in the log when retraining ran.
+    n_records: int
+    #: ``ok``-outcome records that became training rows.
+    n_used: int
+    #: Arm labels the new tree predicts over (empty when not swapped).
+    class_names: Tuple[str, ...] = ()
+    #: Training rows per arm label (empty when not swapped).
+    label_counts: Dict[str, int] = None  # type: ignore[assignment]
+    #: Why the swap was skipped (``None`` when it happened).
+    skipped_reason: Optional[str] = None
+
+    def describe(self) -> str:
+        if not self.swapped:
+            return (
+                f"retrain skipped ({self.skipped_reason}); "
+                f"model stays at version {self.version} "
+                f"({self.n_used}/{self.n_records} usable records)"
+            )
+        counts = ", ".join(
+            f"{name}={n}" for name, n in sorted(self.label_counts.items())
+        )
+        return (
+            f"retrained to version {self.version} on {self.n_used} "
+            f"live records ({counts})"
+        )
+
+
+def _best_arm_per_key(
+    selector: OnlineSelector, records: Tuple[DecisionRecord, ...]
+) -> Dict[str, str]:
+    """Lowest mean observed simulated latency per key, ties by arm order."""
+    sums: Dict[Tuple[str, str], float] = {}
+    counts: Dict[Tuple[str, str], int] = {}
+    for r in records:
+        sums[(r.key, r.arm)] = sums.get((r.key, r.arm), 0.0) + (
+            r.simulated_seconds
+        )
+        counts[(r.key, r.arm)] = counts.get((r.key, r.arm), 0) + 1
+    order = {arm.name: i for i, arm in enumerate(selector.arms)}
+    best: Dict[str, Tuple[float, int, str]] = {}
+    for (key, arm), total in sums.items():
+        mean = total / counts[(key, arm)]
+        rank = (mean, order.get(arm, len(order)), arm)
+        if key not in best or rank < best[key]:
+            best[key] = rank
+    return {key: rank[2] for key, rank in best.items()}
+
+
+def retrain(
+    selector: OnlineSelector,
+    *,
+    min_records: int = 20,
+    max_depth: int = 8,
+    min_samples_leaf: int = 3,
+    note: Optional[str] = None,
+) -> RetrainReport:
+    """Fit a fresh selection tree on the decision log and hot-swap it.
+
+    Returns a :class:`RetrainReport`; ``swapped=False`` (with a
+    reason) when the log holds fewer than ``min_records`` usable
+    records or fewer than two distinct arm labels -- a tree over one
+    class teaches nothing the incumbent does not already know.
+    """
+    all_records = selector.log.records()
+    usable = tuple(r for r in all_records if r.outcome == "ok")
+    version = selector.model_version
+    if len(usable) < min_records:
+        return RetrainReport(
+            swapped=False, version=version,
+            n_records=len(all_records), n_used=len(usable),
+            label_counts={},
+            skipped_reason=(
+                f"{len(usable)} usable records < min_records="
+                f"{min_records}"
+            ),
+        )
+    best = _best_arm_per_key(selector, usable)
+    class_names = tuple(sorted(set(best.values())))
+    if len(class_names) < 2:
+        return RetrainReport(
+            swapped=False, version=version,
+            n_records=len(all_records), n_used=len(usable),
+            label_counts={},
+            skipped_reason=(
+                f"only one winning arm ({class_names[0]!r}) "
+                f"across all keys"
+            ),
+        )
+    label_index = {name: i for i, name in enumerate(class_names)}
+    X: List[Tuple[float, ...]] = []
+    y: List[int] = []
+    label_counts: Dict[str, int] = {}
+    for r in usable:
+        label = best[r.key]
+        X.append(r.features)
+        y.append(label_index[label])
+        label_counts[label] = label_counts.get(label, 0) + 1
+    dataset = Dataset(
+        np.asarray(X, dtype=np.float64),
+        np.asarray(y, dtype=np.int64),
+        FEATURE_NAMES,
+        class_names,
+    )
+    tree = DecisionTreeClassifier(
+        max_depth=max_depth, min_samples_leaf=min_samples_leaf
+    ).fit(dataset)
+    provenance: Dict[str, object] = {
+        "n_records": len(usable),
+        "n_keys": len(best),
+        "label_counts": dict(sorted(label_counts.items())),
+        "last_seq": usable[-1].seq,
+    }
+    if note is not None:
+        provenance["note"] = note
+    new_version = selector.install_model(
+        tree, class_names, provenance=provenance
+    )
+    return RetrainReport(
+        swapped=True, version=new_version,
+        n_records=len(all_records), n_used=len(usable),
+        class_names=class_names, label_counts=label_counts,
+    )

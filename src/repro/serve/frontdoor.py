@@ -674,6 +674,20 @@ class FrontDoor:
         self._record_shed(ticket.tenant, "deadline")
         return True
 
+    def exploration_allowed(
+        self, ticket: Optional[AdmissionTicket]
+    ) -> bool:
+        """Deadline-aware exploration gate for the online selector.
+
+        A request that carries a deadline bought a latency *bound*, not
+        a latency *distribution* -- spending its budget on trying an
+        unproven kernel arm would make the server's own curiosity a
+        deadline risk.  Such requests always get the exploit arm; only
+        deadline-free traffic (no ticket, or a ticket without a
+        deadline) may be explored on.
+        """
+        return ticket is None or ticket.deadline is None
+
     def pending(self, tenant: str) -> int:
         """Admitted-but-unreleased requests for one tenant."""
         with self._lock:

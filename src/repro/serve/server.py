@@ -88,6 +88,7 @@ from repro.serve.plan_cache import CacheStats, PlanCache
 from repro.utils.validation import check_spmm_operand, check_spmv_operand
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle: shard imports serve
+    from repro.learn.selector import LearningPolicy, LearnStats
     from repro.shard.executor import (
         ShardExecutorStats,
         ShardingPolicy,
@@ -168,6 +169,13 @@ class SubmitResult:
     tenant: str = DEFAULT_TENANT
     #: Priority class the request rode in (``latency`` / ``batch``).
     priority: str = "latency"
+    #: Arm the online selector served this request under (``"tree"`` or
+    #: ``"u<U>:<kernel>"``); ``None`` when the server has no
+    #: ``learning`` policy.
+    arm: Optional[str] = None
+    #: True when the arm was an exploration rather than the exploit
+    #: choice (always False without a ``learning`` policy).
+    explored: bool = False
 
 
 @dataclass(frozen=True)
@@ -199,6 +207,9 @@ class ServerStats:
     fingerprints: Optional[FingerprintCacheStats] = None
     #: Admission accounting; ``None`` without an ``admission=`` policy.
     frontdoor: Optional[FrontDoorStats] = None
+    #: Online-selector accounting; ``None`` without a ``learning=``
+    #: policy.
+    learning: Optional[LearnStats] = None
 
     @property
     def hit_rate(self) -> float:
@@ -248,6 +259,11 @@ class ServerStats:
             lines.append("front door:")
             lines.extend(
                 "  " + line for line in self.frontdoor.describe().splitlines()
+            )
+        if self.learning is not None:
+            lines.append("online learning:")
+            lines.extend(
+                "  " + line for line in self.learning.describe().splitlines()
             )
         return "\n".join(lines)
 
@@ -329,6 +345,20 @@ class SpMVServer:
         ``tracing``, each priority class gets its own SLO monitor.
         ``None`` (default) keeps the hot path anonymous and
         admission-free -- same pattern as ``resilience=``/``tracing=``.
+    learning:
+        Optional :class:`~repro.learn.LearningPolicy`.  When set, an
+        :class:`~repro.learn.OnlineSelector` sits between requests and
+        the planner: each request is served under a chosen *arm*
+        (``tree`` = the configured planner, or a candidate
+        ``(U, kernel)`` override), observed latency feeds back into
+        the arm table, and a bounded exploration budget tries
+        alternatives -- never on requests carrying deadlines, never in
+        coalesced group dispatches.  ``SubmitResult`` gains
+        ``arm``/``explored``; arm changes re-plan through the existing
+        ``invalidate()`` path (shard layer included); decisions land
+        on ``learn.decide`` trace spans and ``learn_*`` metrics.
+        ``None`` (default) keeps the hot path byte-identical to an
+        unlearned server.
     """
 
     def __init__(
@@ -345,6 +375,7 @@ class SpMVServer:
         scheduler: Optional[CoalescePolicy] = None,
         tracing: Optional[TracingPolicy] = None,
         admission: Optional[AdmissionPolicy] = None,
+        learning: Optional[LearningPolicy] = None,
     ):
         if planner is not None:
             self._planner: Planner = planner
@@ -364,6 +395,24 @@ class SpMVServer:
         # Identity fast path: resubmitting the same matrix *object*
         # (solver traffic) skips structural hashing entirely.
         self._fingerprints = FingerprintCache()
+        self.learning = learning
+        self._selector = None
+        if learning is not None:
+            # Imported lazily -- same rationale as the shard layer: no
+            # import tax on servers that never learn.
+            from repro.learn.selector import OnlineSelector
+            from repro.trace.profiler import KernelProfiler
+
+            self._selector = OnlineSelector(
+                learning,
+                self._planner,
+                profiler=KernelProfiler(unwrap_device(self.device).spec),
+                registry=self.registry,
+            )
+            # The selector becomes THE planner: the plan cache and the
+            # sharded executor's per-shard planning (built below from
+            # self._planner) all route through the active arm.
+            self._planner = self._selector.plan
         self.resilience = resilience
         # With sharding, resilience applies per shard inside the sharded
         # executor; wrapping here too would retry every request twice.
@@ -380,7 +429,7 @@ class SpMVServer:
         )
         self.trace_recorder: Optional[TraceRecorder] = None
         self.slo: Optional[SLOMonitor] = None
-        #: Per-priority-class SLO monitors (admission + tracing only).
+        #: Per-priority-class SLO monitors (any tracing server).
         self.slo_by_class: Dict[str, SLOMonitor] = {}
         if tracing is not None:
             self.trace_recorder = TraceRecorder(
@@ -393,20 +442,22 @@ class SpMVServer:
                 registry=self.registry,
                 refresh_every=tracing.refresh_every,
             )
-            if admission is not None:
-                # One monitor per priority class: an overloaded batch
-                # class must not hide a healthy latency class (or vice
-                # versa) inside one mixed window.
-                self.slo_by_class = {
-                    priority: SLOMonitor(
-                        target,
-                        window=tracing.latency_window,
-                        registry=self.registry,
-                        refresh_every=tracing.refresh_every,
-                        labels={"class": priority},
-                    )
-                    for priority in PRIORITIES
-                }
+            # One monitor per priority class: an overloaded batch
+            # class must not hide a healthy latency class (or vice
+            # versa) inside one mixed window.  Built for *every*
+            # tracing server -- callers pass ``priority=`` whether or
+            # not an admission policy resolves it -- so the class view
+            # does not silently vanish when the front door is off.
+            self.slo_by_class = {
+                priority: SLOMonitor(
+                    target,
+                    window=tracing.latency_window,
+                    registry=self.registry,
+                    refresh_every=tracing.refresh_every,
+                    labels={"class": priority},
+                )
+                for priority in PRIORITIES
+            }
         self._closed = False
         # Imported lazily: repro.shard.executor/scheduler import the
         # serve layer, so importing them at module scope would close an
@@ -436,9 +487,17 @@ class SpMVServer:
                     and not scheduler.fair):
                 scheduler = replace(scheduler, fair=True)
             # Bound to the *direct* batch path: close() drains pending
-            # groups through it after the public API has shut.
+            # groups through it after the public API has shut.  With
+            # learning on, group dispatches are exploit-only -- a
+            # coalesced group mixes tenants (and possibly deadlines),
+            # so no member's latency is spent on exploration.
+            if self._selector is None:
+                batch_fn = self._direct_submit_batch
+            else:
+                def batch_fn(m, X):
+                    return self._direct_submit_batch(m, X, no_explore=True)
             self._scheduler = RequestScheduler(
-                self._direct_submit_batch, scheduler,
+                batch_fn, scheduler,
                 registry=self.registry,
                 fingerprint=self._fingerprints.fingerprint,
             )
@@ -511,6 +570,13 @@ class SpMVServer:
     def closed(self) -> bool:
         """True once :meth:`close` (or ``__exit__``) has run."""
         return self._closed
+
+    @property
+    def selector(self):
+        """The :class:`~repro.learn.OnlineSelector` behind a
+        ``learning=`` server (its decision log, arm tables and
+        :func:`~repro.learn.retrain` hook); ``None`` without one."""
+        return self._selector
 
     def _check_open(self) -> None:
         if self._closed:
@@ -632,6 +698,62 @@ class SpMVServer:
             coalesced_width=scheduled.width,
             shards=group.shards,
             dispatch_trace_id=scheduled.dispatch_trace_id,
+            arm=group.arm,
+            explored=group.explored,
+        )
+
+    # -- online learning -------------------------------------------------
+    def _learned_request(
+        self,
+        matrix: CSRMatrix,
+        no_explore: bool,
+        body: Callable[[], SubmitResult],
+    ) -> SubmitResult:
+        """Decide an arm, execute under it, feed the outcome back.
+
+        The decision rides a thread-local inside the selector, so the
+        plan cache *and* the sharded executor's per-shard planning
+        (both synchronous on this thread) build plans for the chosen
+        arm.  When the arm differs from the one the digest's cached
+        plans were built under, the change pushes through the same
+        invalidation layers :meth:`invalidate` uses -- plan cache,
+        shard sets, worker-side bound plans.  A failing or degraded
+        execution is reported back as a fault so the arm is penalized
+        (and eventually quarantined), not retried forever.
+        """
+        fp = self._fingerprints.fingerprint(matrix)
+        with span("learn.decide", self.registry) as sp:
+            decision = self._selector.decide(
+                matrix, fp.digest, allow_explore=not no_explore
+            )
+            if decision.replan:
+                self.cache.invalidate(fp)
+                if self._sharded is not None:
+                    self._sharded.invalidate(fp.digest)
+            sp.attrs = {
+                "key": decision.key,
+                "arm": decision.arm.name,
+                "explored": decision.explored,
+                "replan": decision.replan,
+            }
+        t0 = perf_counter()
+        try:
+            with self._selector.activate(decision):
+                result = body()
+        except Exception:
+            self._selector.observe(
+                decision, simulated=0.0, wall=perf_counter() - t0,
+                outcome="error",
+            )
+            raise
+        self._selector.observe(
+            decision,
+            simulated=result.seconds,
+            wall=perf_counter() - t0,
+            outcome="degraded" if result.degraded else "ok",
+        )
+        return replace(
+            result, arm=decision.arm.name, explored=decision.explored
         )
 
     # -- tracing ---------------------------------------------------------
@@ -642,6 +764,7 @@ class SpMVServer:
         *,
         tenant: Optional[str] = None,
         priority: Optional[str] = None,
+        slo_class: Optional[str] = None,
     ) -> SubmitResult:
         """Run one request under a fresh trace and feed the SLO monitor.
 
@@ -649,9 +772,12 @@ class SpMVServer:
         whole request -- every stage span, shard-worker span, retry
         attempt and device dispatch recorded while it is active joins
         this request's trace.  Request wall latency is observed into
-        the SLO monitor (and the request's priority-class monitor, when
-        per-class monitoring is on) whether the request succeeds or
-        raises (a failing request is still a served latency).
+        the SLO monitor whether the request succeeds or raises (a
+        failing request is still a served latency), and into the
+        ``slo_class`` priority-class monitor -- the class view works on
+        any tracing server, front door or not, while ``priority`` only
+        *annotates the span* when admission resolved it (an anonymous
+        server's traces stay byte-identical to before).
         """
         ctx = TraceContext.root(self.trace_recorder)
         attrs: Dict[str, Any] = {"kind": kind}
@@ -668,8 +794,8 @@ class SpMVServer:
             elapsed = perf_counter() - t0
             if self.slo is not None:
                 self.slo.observe(elapsed)
-            if priority is not None:
-                class_monitor = self.slo_by_class.get(priority)
+            if slo_class is not None:
+                class_monitor = self.slo_by_class.get(slo_class)
                 if class_monitor is not None:
                     class_monitor.observe(elapsed)
         return replace(result, trace_id=ctx.trace_id)
@@ -677,9 +803,10 @@ class SpMVServer:
     def health_snapshot(self) -> Dict[str, Any]:
         """The SLO monitor's point-in-time health (tracing servers only).
 
-        With per-priority-class monitoring (``admission`` + ``tracing``
-        both set) the snapshot gains a ``classes`` key holding one
-        nested snapshot per priority class.
+        The snapshot's ``classes`` key holds one nested snapshot per
+        priority class -- every tracing server has them (requests
+        without an explicit priority count into ``latency``), so the
+        class view does not depend on an admission policy being set.
 
         Raises
         ------
@@ -721,7 +848,8 @@ class SpMVServer:
         return self._admitted_request(
             "single",
             tenant=tenant, priority=priority, deadline=deadline,
-            fn=lambda t: self._submit_inner(matrix, x, t),
+            fn=lambda t, ne: self._submit_inner(matrix, x, t,
+                                                no_explore=ne),
         )
 
     def _admitted_request(
@@ -731,9 +859,16 @@ class SpMVServer:
         tenant: Optional[str],
         priority: Optional[str],
         deadline: Optional[float],
-        fn: Callable[[str], SubmitResult],
+        fn: Callable[[str, bool], SubmitResult],
     ) -> SubmitResult:
-        """Front-door admission + tracing wrapper around one request."""
+        """Front-door admission + tracing wrapper around one request.
+
+        ``fn`` receives the resolved tenant and a ``no_explore`` flag:
+        requests carrying a deadline must never pay for the online
+        selector's exploration (with a front door the ticket decides
+        via :meth:`~repro.serve.frontdoor.FrontDoor.exploration_allowed`;
+        without one, any explicit ``deadline`` argument gates it).
+        """
         resolved_tenant = DEFAULT_TENANT if tenant is None else tenant
         ticket = None
         if self.frontdoor is not None:
@@ -741,20 +876,24 @@ class SpMVServer:
                 resolved_tenant, priority=priority, deadline=deadline
             )
             resolved_priority = ticket.priority
+            no_explore = not self.frontdoor.exploration_allowed(ticket)
         else:
             resolved_priority = "latency" if priority is None else priority
+            no_explore = deadline is not None
         try:
             if self.trace_recorder is not None:
                 # Tenant/priority only annotate traces when the front
                 # door is on -- an anonymous server's spans (and golden
-                # trace exports) stay byte-identical to before.
+                # trace exports) stay byte-identical to before.  The
+                # per-class SLO monitor observes either way.
                 result = self._traced_request(
-                    kind, lambda: fn(resolved_tenant),
+                    kind, lambda: fn(resolved_tenant, no_explore),
                     tenant=None if ticket is None else resolved_tenant,
                     priority=None if ticket is None else resolved_priority,
+                    slo_class=resolved_priority,
                 )
             else:
-                result = fn(resolved_tenant)
+                result = fn(resolved_tenant, no_explore)
         finally:
             if ticket is not None:
                 self.frontdoor.release(ticket)
@@ -767,11 +906,19 @@ class SpMVServer:
 
     def _submit_inner(
         self, matrix: CSRMatrix, x: np.ndarray,
-        tenant: str = DEFAULT_TENANT,
+        tenant: str = DEFAULT_TENANT, *, no_explore: bool = False,
     ) -> SubmitResult:
         if self._scheduler is not None:
             return self._coalesced_submit(matrix, x, tenant)
         x = self._validate_rhs(matrix, x, batch=False)
+        if self._selector is not None:
+            return self._learned_request(
+                matrix, no_explore, lambda: self._serve_spmv(matrix, x)
+            )
+        return self._serve_spmv(matrix, x)
+
+    def _serve_spmv(self, matrix: CSRMatrix, x: np.ndarray) -> SubmitResult:
+        """The single-RHS execution body (post-validation, post-decide)."""
         if self._sharded is not None:
             return self._sharded_submit(matrix, x, batch=False)
         plan, fp, hit = self._plan_for(matrix)
@@ -844,11 +991,12 @@ class SpMVServer:
         return self._admitted_request(
             "batch",
             tenant=tenant, priority=priority, deadline=deadline,
-            fn=lambda t: self._direct_submit_batch(matrix, X),
+            fn=lambda t, ne: self._direct_submit_batch(matrix, X,
+                                                       no_explore=ne),
         )
 
     def _direct_submit_batch(
-        self, matrix: CSRMatrix, X: np.ndarray
+        self, matrix: CSRMatrix, X: np.ndarray, *, no_explore: bool = False,
     ) -> SubmitResult:
         """Batch path without the closed-check.
 
@@ -857,6 +1005,14 @@ class SpMVServer:
         which is exactly why the public wrapper owns the check.
         """
         X = self._validate_rhs(matrix, X, batch=True)
+        if self._selector is not None:
+            return self._learned_request(
+                matrix, no_explore, lambda: self._serve_spmm(matrix, X)
+            )
+        return self._serve_spmm(matrix, X)
+
+    def _serve_spmm(self, matrix: CSRMatrix, X: np.ndarray) -> SubmitResult:
+        """The multi-RHS execution body (post-validation, post-decide)."""
         if self._sharded is not None:
             return self._sharded_submit(matrix, X, batch=True)
         plan, fp, hit = self._plan_for(matrix)
@@ -1006,5 +1162,9 @@ class SpMVServer:
                 frontdoor=(
                     self.frontdoor.stats()
                     if self.frontdoor is not None else None
+                ),
+                learning=(
+                    self._selector.stats()
+                    if self._selector is not None else None
                 ),
             )

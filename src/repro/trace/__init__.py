@@ -24,7 +24,12 @@ adds no work (the same design as ``NULL_REGISTRY``).
 """
 
 from repro.trace.context import TraceContext, capture_context, reset_ids
-from repro.trace.profiler import DispatchProfile, KernelProfiler, ProfileReport
+from repro.trace.profiler import (
+    DispatchProfile,
+    KernelProfiler,
+    ProfileReport,
+    ProfilerMemoStats,
+)
 from repro.trace.quantiles import SlidingQuantiles
 from repro.trace.recorder import SpanRecord, TraceRecorder
 from repro.trace.slo import SLOMonitor, SLOTarget, TracingPolicy
@@ -37,6 +42,7 @@ __all__ = [
     "SpanRecord",
     "KernelProfiler",
     "ProfileReport",
+    "ProfilerMemoStats",
     "DispatchProfile",
     "SlidingQuantiles",
     "SLOMonitor",
