@@ -18,13 +18,20 @@ single-RHS traffic over a few sparsity patterns) is served four ways --
   clients -- same-matrix requests share one multi-RHS dispatch, paying
   the per-dispatch overhead once per batch instead of once per vector.
 
+A fifth configuration, **blackbox_on**, re-runs the unsharded path with
+the incident flight recorder flying (``blackbox=BlackboxPolicy()``, no
+bundle dir) and gates its overhead: wall p50 must stay within 1.05x of
+the recorder-off baseline -- always-on observability that taxes the
+hot path more than 5% is not always-on for long.
+
 Two readings per configuration land in
 ``benchmarks/results/BENCH_serving.json``: wall requests/sec + p50/95/99
 latency (real, host-dependent) and total *simulated* seconds from the
 server's accounting (deterministic).  The acceptance gates: sharding
 (makespan < single-device time) and coalescing (batched overhead
-amortisation) beat the unsharded *simulated* baseline, and the process
-backend's *wall* p50 undercuts the unsharded wall p50.
+amortisation) beat the unsharded *simulated* baseline, the process
+backend's *wall* p50 undercuts the unsharded wall p50, and the flight
+recorder rides within the 1.05x envelope.
 """
 
 from __future__ import annotations
@@ -36,6 +43,7 @@ from time import perf_counter
 
 import numpy as np
 
+from repro.blackbox import BlackboxPolicy
 from repro.matrices import generators as gen
 from repro.observe import NULL_REGISTRY
 from repro.serve import SpMVServer
@@ -91,6 +99,12 @@ def _drive(server: SpMVServer, requests, *, concurrency: int = 1) -> dict:
         server.submit(m, x)
         latencies.append(perf_counter() - t)
 
+    # Untimed warmup: populate the plan cache and fault in the numpy
+    # kernels so the timed quantiles measure the steady state, not the
+    # first-touch costs (which land on whichever config runs first and
+    # would make the cross-config ratios order-dependent).
+    for m, x in requests[:8]:
+        server.submit(m, x)
     t0 = perf_counter()
     if concurrency == 1:
         for m, x in requests:
@@ -128,9 +142,27 @@ def _drive(server: SpMVServer, requests, *, concurrency: int = 1) -> dict:
 def run_serving_benchmark() -> dict:
     """Run all three configurations and return the comparison dict."""
     requests = _workload()
-    unsharded = _drive(
-        SpMVServer(registry=NULL_REGISTRY), requests
-    )
+    # The recorder-overhead pair is driven twice, interleaved, and each
+    # side keeps its better p50: the ratio being gated is ~1.0x, so a
+    # single scheduler hiccup on either side would otherwise dominate
+    # the comparison.  The other configs measure multi-x effects and a
+    # single pass is plenty.
+    unsharded_runs = []
+    blackbox_runs = []
+    for _ in range(2):
+        unsharded_runs.append(_drive(
+            SpMVServer(registry=NULL_REGISTRY), requests
+        ))
+        blackbox_runs.append(_drive(
+            SpMVServer(registry=NULL_REGISTRY, blackbox=BlackboxPolicy()),
+            requests,
+        ))
+
+    def _best(runs):
+        return min(runs, key=lambda r: r["wall_latency_quantiles"]["p50"])
+
+    unsharded = _best(unsharded_runs)
+    blackbox_on = _best(blackbox_runs)
     sharded = _drive(
         SpMVServer(
             registry=NULL_REGISTRY,
@@ -167,6 +199,7 @@ def run_serving_benchmark() -> dict:
         },
         "configs": {
             "unsharded": unsharded,
+            "blackbox_on": blackbox_on,
             "sharded": {**sharded, "n_shards": SHARDS, "backend": "thread"},
             "sharded_process": {
                 **sharded_process, "n_shards": SHARDS, "backend": "process",
@@ -186,6 +219,10 @@ def run_serving_benchmark() -> dict:
                 / sharded_process["wall_latency_quantiles"]["p50"]
             ),
         },
+        "blackbox_overhead_wall_p50": (
+            blackbox_on["wall_latency_quantiles"]["p50"]
+            / unsharded["wall_latency_quantiles"]["p50"]
+        ),
     }
 
 
@@ -208,6 +245,9 @@ def test_serving_throughput_comparison():
     # cache), reuse worker-side bound plans, and cross the IPC boundary
     # once -- that has to undercut the full unsharded submit path.
     assert result["wall_p50_speedup_vs_unsharded"]["sharded_process"] > 1.0
+    # The always-on flight recorder must stay within 5% of the plain
+    # hot path at wall p50 -- one ring append per request, no more.
+    assert result["blackbox_overhead_wall_p50"] <= 1.05
     # Coalescing genuinely batched (width > 1 on average).
     assert result["configs"]["coalesced"]["mean_batch_width"] > 1.0
     # The per-stage breakdown is present and ordered (p50 <= p99).

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Incident observability: flight recorder, exemplars, debug bundles.
+
+Aggregate metrics say *that* the p99 moved; an incident wants *which
+requests* moved it.  This example walks the `repro.blackbox` loop:
+
+1. serve chaotic traffic through a traced server with
+   ``blackbox=BlackboxPolicy(bundle_dir=...)`` and a deliberately
+   tight SLO -- the first breach auto-writes a debug bundle;
+2. peek at the flight recorder (the bounded per-request ring the
+   bundle's forensics come from) and the exemplar-tagged Prometheus
+   export (the aggregate-to-request link);
+3. load the bundle back and render the same incident report the
+   ``python -m repro doctor`` CLI prints.
+
+Run:  python examples/doctor.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.blackbox import BlackboxPolicy, find_bundles, load_bundle, render_report
+from repro.matrices import generators as gen
+from repro.observe import MetricsRegistry, to_prometheus_text
+from repro.resilient import ChaosDevice, FaultSchedule, ResiliencePolicy
+from repro.device import SimulatedDevice
+from repro.serve import SpMVServer
+from repro.trace import SLOTarget, TracingPolicy
+
+
+def main() -> None:
+    bundle_dir = Path(tempfile.mkdtemp(prefix="repro-bundles-"))
+    registry = MetricsRegistry()
+
+    # ------------------------------------------------------------------
+    # 1. A chaotic, traced server with the blackbox flying.  The SLO is
+    #    deliberately tiny so the demo breaches immediately; the bundle
+    #    directory receives a rate-limited stream of snapshots.
+    # ------------------------------------------------------------------
+    server = SpMVServer(
+        device=ChaosDevice(SimulatedDevice(), FaultSchedule(rate=0.1, seed=7)),
+        resilience=ResiliencePolicy(),
+        registry=registry,
+        tracing=TracingPolicy(slo=SLOTarget(p99=1e-4)),
+        blackbox=BlackboxPolicy(
+            bundle_dir=str(bundle_dir),
+            min_bundle_interval_seconds=0.05,
+        ),
+    )
+    rng = np.random.default_rng(0)
+    matrices = [gen.power_law_graph(1_500, seed=s) for s in range(3)]
+    for i in range(24):
+        m = matrices[i % len(matrices)]
+        server.submit(m, rng.standard_normal(m.ncols), tenant=f"tenant-{i % 2}")
+    server.close()
+
+    print("=== blackbox accounting ===")
+    print(server.stats().blackbox.describe())
+
+    # ------------------------------------------------------------------
+    # 2. The flight recorder and the exemplar-tagged export.
+    # ------------------------------------------------------------------
+    tail = server.blackbox.flight.tail(3)
+    print("\n=== flight recorder (last 3 requests) ===")
+    for record in tail:
+        print(f"  #{record.seq}: tenant={record.tenant} "
+              f"digest={record.digest[:8]} cache_hit={record.cache_hit} "
+              f"wall={record.wall_seconds * 1e3:.3f} ms "
+              f"trace={record.trace_id}")
+
+    exemplar_lines = [
+        line for line in to_prometheus_text(registry).splitlines()
+        if "trace_id" in line
+    ]
+    print("\n=== exemplar-tagged histogram buckets ===")
+    for line in exemplar_lines[:4]:
+        print(f"  {line}")
+
+    # ------------------------------------------------------------------
+    # 3. Load the newest bundle and render the incident report -- the
+    #    same page `python -m repro doctor <dir>` prints.
+    # ------------------------------------------------------------------
+    bundles = find_bundles(bundle_dir)
+    print(f"\n=== {len(bundles)} debug bundle(s) under {bundle_dir} ===\n")
+    bundle = load_bundle(bundles[-1])
+    print(render_report(bundle, siblings=bundles))
+
+    resolved = set(bundle.exemplar_trace_ids()) <= bundle.span_trace_ids()
+    print(f"\nexemplars resolve to bundled spans: {resolved}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Eight commands cover the deployment workflow:
+Nine commands cover the deployment workflow:
 
 - ``train``  -- offline-train a tuner on a synthetic corpus (or point it
   at a directory of Matrix Market files) and save it to JSON;
@@ -17,7 +17,13 @@ Eight commands cover the deployment workflow:
   whose every iteration rides the serving layer, or
   ``--tenants N`` (optionally with ``--overload FACTOR``) to serve
   mixed-tenant traffic through the admission front door and print
-  per-tenant shedding + admission stats;
+  per-tenant shedding + admission stats, or ``--bundle-dir DIR`` to
+  fly the incident flight recorder and auto-write triggered debug
+  bundles into ``DIR``;
+- ``doctor`` -- load a debug bundle (or the latest bundle in a
+  ``--bundle-dir`` output directory) and render an incident report:
+  trigger timeline, flight-tail latency, top offenders, plan-cache
+  and exploration anomalies, exemplar/trace cross-check;
 - ``solve``  -- run an iterative solver (CG, BiCGSTAB, Jacobi, power
   iteration) end to end through the server, with optional sharding and
   chaos, and print the convergence history + per-iteration SLO health;
@@ -42,6 +48,8 @@ Examples
         --trace-out trace.json
     python -m repro serve-demo --workload solver --requests 200
     python -m repro serve-demo --tenants 3 --overload 2 --requests 48
+    python -m repro serve-demo --chaos --bundle-dir bundles/
+    python -m repro doctor bundles/
     python -m repro solve --method cg --matrix spd:2000 --shards 4 \\
         --backend process
     python -m repro solve --method jacobi --matrix spd:2000 --chaos
@@ -409,12 +417,27 @@ def _build_demo_server(args: argparse.Namespace) -> SpMVServer:
         )
         print(f"coalescing: width <= {scheduler.max_batch}, "
               f"window {scheduler.max_wait_seconds * 1e3:.1f} ms")
+    bundle_dir = getattr(args, "bundle_dir", None)
     tracing = None
-    if getattr(args, "trace", False) or getattr(args, "trace_out", None):
+    if (getattr(args, "trace", False) or getattr(args, "trace_out", None)
+            or bundle_dir):
+        # --bundle-dir implies tracing: exemplars need trace ids and a
+        # bundle without its trace export cannot cross-check them.
         slo_p99 = getattr(args, "slo_p99", 0.1)
         tracing = TracingPolicy(slo=SLOTarget(p99=slo_p99))
         print(f"tracing: on (ring capacity {tracing.recorder_capacity}, "
               f"SLO p99 <= {slo_p99 * 1e3:.1f} ms)")
+    blackbox = None
+    if bundle_dir:
+        from repro.blackbox import BlackboxPolicy
+
+        # A short rate-limit interval keeps the demo responsive; a
+        # production deployment would leave the 30 s default.
+        blackbox = BlackboxPolicy(
+            bundle_dir=bundle_dir, min_bundle_interval_seconds=1.0,
+        )
+        print(f"blackbox: flight recorder on (capacity "
+              f"{blackbox.flight_capacity}), debug bundles -> {bundle_dir}")
     admission = None
     if getattr(args, "tenants", 0):
         # The firehose's burst covers exactly the 1x offered load, so
@@ -456,13 +479,18 @@ def _build_demo_server(args: argparse.Namespace) -> SpMVServer:
         tracing=tracing,
         admission=admission,
         learning=learning,
+        blackbox=blackbox,
     )
 
 
 def _cmd_serve_demo(args: argparse.Namespace) -> int:
     """Simulate repeated + batched traffic against one server instance."""
     registry = previous = None
-    if getattr(args, "metrics", False):
+    if getattr(args, "metrics", False) or getattr(args, "bundle_dir", None):
+        # A fresh registry per run: with --bundle-dir, the bundles'
+        # metric snapshots (and their exemplar trace ids) must describe
+        # *this* server, not whatever the process-global registry
+        # accumulated before.
         registry = MetricsRegistry()
         previous = set_registry(registry)
     try:
@@ -484,11 +512,22 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
             f"{kind}={n}" for kind, n in sorted(counts.items())
         ) or "none"
         print(f"faults injected    : {sum(counts.values())} ({injected})")
-    if registry is not None:
+    if registry is not None and getattr(args, "metrics", False):
         print("\n--- metrics (prometheus) ---")
         print(to_prometheus_text(registry), end="")
     if server.trace_recorder is not None:
         _report_traces(server, getattr(args, "trace_out", None))
+    if server.blackbox is not None:
+        bb = server.blackbox.stats()
+        triggers = ", ".join(
+            f"{reason}={n}" for reason, n in sorted(bb.triggers.items())
+        ) or "none"
+        print(f"\nblackbox: {bb.bundles_written} bundle(s) written, "
+              f"{bb.bundles_suppressed} suppressed (triggers: {triggers})")
+        if bb.last_bundle is not None:
+            print(f"  latest: {bb.last_bundle}")
+            print(f"  inspect with: python -m repro doctor "
+                  f"{getattr(args, 'bundle_dir', bb.last_bundle)}")
     print(f"\nall results verified: {'OK' if ok else 'MISMATCH'}")
     return 0 if ok else 1
 
@@ -565,6 +604,49 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
             print(f"  {event}")
     print(f"\nall results verified: {'OK' if ok else 'MISMATCH'}")
     return 0 if ok else 1
+
+
+def _cmd_doctor(args: argparse.Namespace) -> int:
+    """Load a debug bundle and render the incident report.
+
+    Accepts either a bundle directory itself (``bundle-0003-slo_breach``)
+    or a ``--bundle-dir`` output directory, in which case the *latest*
+    complete bundle is diagnosed and the older siblings are listed for
+    context.  Corrupt or partial bundles turn into a readable error on
+    stderr (exit 1), never a traceback.
+    """
+    from repro.blackbox import (
+        BundleError,
+        find_bundles,
+        load_bundle,
+        render_report,
+    )
+
+    root = Path(args.bundle)
+    try:
+        if (root / "manifest.json").is_file():
+            bundle = load_bundle(root)
+            siblings = find_bundles(root.parent)
+        elif root.is_dir():
+            bundles = find_bundles(root)
+            if not bundles:
+                print(f"doctor: no complete debug bundles under {root}",
+                      file=sys.stderr)
+                return 1
+            bundle = load_bundle(bundles[-1])
+            siblings = bundles
+            if len(bundles) > 1:
+                print(f"({len(bundles)} bundles found; diagnosing the "
+                      f"latest, {bundles[-1].name})\n")
+        else:
+            print(f"doctor: {root} is not a bundle or bundle directory",
+                  file=sys.stderr)
+            return 1
+        print(render_report(bundle, siblings=siblings))
+    except BundleError as exc:
+        print(f"doctor: {exc}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -734,6 +816,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--explore-budget", type=float, default=0.2,
                          help="global cap on the fraction of decisions "
                               "that may explore (default 0.2)")
+    p_serve.add_argument("--bundle-dir", default=None,
+                         help="fly the incident flight recorder and "
+                              "auto-write triggered debug bundles into "
+                              "this directory (implies --trace); inspect "
+                              "them with 'repro doctor'")
     p_serve.add_argument("--workload", choices=("mixed", "solver"),
                          default="mixed",
                          help="demo traffic: 'mixed' (repeated + batched "
@@ -814,6 +901,17 @@ def build_parser() -> argparse.ArgumentParser:
                            default="both",
                            help="which snapshot(s) to print (default both)")
     p_metrics.set_defaults(func=_cmd_metrics)
+
+    p_doctor = sub.add_parser(
+        "doctor",
+        help="render the incident report for a debug bundle "
+             "(or the latest bundle in a --bundle-dir directory)",
+    )
+    p_doctor.add_argument("bundle",
+                          help="a bundle directory, or a serve-demo "
+                               "--bundle-dir output directory (the latest "
+                               "complete bundle is diagnosed)")
+    p_doctor.set_defaults(func=_cmd_doctor)
 
     p_trace = sub.add_parser(
         "trace",

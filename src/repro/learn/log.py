@@ -122,6 +122,18 @@ class DecisionLog:
         with self._lock:
             return tuple(self._records)
 
+    def tail(self, n: int) -> Tuple[DecisionRecord, ...]:
+        """The newest ``n`` retained records, oldest first.
+
+        Debug bundles snapshot this instead of :meth:`records` -- an
+        incident wants the recent decisions, not the whole ring.
+        """
+        if n <= 0:
+            return ()
+        with self._lock:
+            records = tuple(self._records)
+        return records[-n:]
+
     def stats(self) -> DecisionLogStats:
         with self._lock:
             appended = self._appended

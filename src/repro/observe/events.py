@@ -36,15 +36,27 @@ class RecordingSink:
     pass ``max_events`` to turn it into a ring buffer that keeps only
     the newest events -- a sink left attached to a long-lived server
     must not grow without limit under sustained load.  ``dropped``
-    counts the events the ring displaced.
+    counts the events the ring displaced; pass ``registry`` (duck-typed
+    -- this module sits *below* :mod:`repro.observe.registry` in the
+    import graph) to also surface the loss as
+    ``observe_events_dropped_total``, so silent telemetry loss shows up
+    on the same scrape as everything else.
     """
 
-    def __init__(self, max_events: Optional[int] = None) -> None:
+    def __init__(self, max_events: Optional[int] = None, *,
+                 registry=None) -> None:
         if max_events is not None and max_events <= 0:
             raise ValueError(f"max_events must be > 0, got {max_events}")
         self.max_events = max_events
         self._events: "deque[Event]" = deque(maxlen=max_events)
         self.dropped = 0
+        self._m_dropped = None
+        if registry is not None:
+            self._m_dropped = registry.counter(
+                "observe_events_dropped_total",
+                help_text="Events displaced from a bounded recording "
+                          "sink's ring.",
+            )
 
     @property
     def events(self) -> List[Event]:
@@ -55,6 +67,8 @@ class RecordingSink:
         if (self.max_events is not None
                 and len(self._events) == self.max_events):
             self.dropped += 1
+            if self._m_dropped is not None:
+                self._m_dropped.inc()
         self._events.append(event)
 
     def __len__(self) -> int:

@@ -32,12 +32,29 @@ def _fmt(value: float) -> str:
     return repr(v)
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus exposition format.
+
+    Backslash, double quote and newline are the three characters the
+    format reserves inside quoted label values; interpolating them raw
+    (the historical behaviour) produced unparseable exposition text the
+    moment a tenant name contained a quote.  Backslash must go first or
+    the other escapes would be double-escaped.
+    """
+    return (str(value)
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
 def _labels_text(labels: Tuple[Tuple[str, str], ...],
                  extra: Optional[Tuple[Tuple[str, str], ...]] = None) -> str:
     pairs = list(labels) + list(extra or ())
     if not pairs:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in pairs)
+    inner = ",".join(
+        f'{k}="{_escape_label_value(v)}"' for k, v in pairs
+    )
     return "{" + inner + "}"
 
 
@@ -59,9 +76,20 @@ def to_prometheus_text(registry: Optional[MetricsRegistry] = None) -> str:
             lines.append(f"# TYPE {name} {kind}")
             last_name = name
         if isinstance(inst, Histogram):
-            for le, cum in inst.cumulative_counts():
+            exemplars = inst.exemplars()
+            for i, (le, cum) in enumerate(inst.cumulative_counts()):
                 label_txt = _labels_text(inst.labels, (("le", _fmt(le)),))
-                lines.append(f"{name}_bucket{label_txt} {cum}")
+                line = f"{name}_bucket{label_txt} {cum}"
+                exemplar = exemplars.get(i)
+                if exemplar is not None:
+                    # OpenMetrics exemplar syntax: the bucket's most
+                    # recent representative request, linkable straight
+                    # to its recorded trace.
+                    trace_id, value = exemplar
+                    line += (f' # {{trace_id='
+                             f'"{_escape_label_value(trace_id)}"}} '
+                             f'{_fmt(value)}')
+                lines.append(line)
             base = _labels_text(inst.labels)
             lines.append(f"{name}_sum{base} {_fmt(inst.sum)}")
             lines.append(f"{name}_count{base} {inst.count}")

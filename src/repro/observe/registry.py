@@ -142,7 +142,7 @@ class Histogram:
     """
 
     __slots__ = ("name", "labels", "buckets", "_counts", "_sum", "_count",
-                 "_lock")
+                 "_exemplars", "_lock")
 
     def __init__(
         self,
@@ -164,15 +164,30 @@ class Histogram:
         self._counts = [0] * (len(bounds) + 1)  # +1: the +Inf bucket
         self._sum = 0.0
         self._count = 0
+        # Per-bucket (trace_id, value) exemplars; allocated lazily on
+        # the first exemplar-carrying observe so plain histograms stay
+        # exactly as cheap as before.
+        self._exemplars: Optional[List[Optional[Tuple[str, float]]]] = None
         self._lock = threading.Lock()
 
-    def observe(self, value: float) -> None:
-        """Record one observation."""
+    def observe(self, value: float,
+                exemplar: Optional[str] = None) -> None:
+        """Record one observation.
+
+        ``exemplar`` optionally attaches a trace id to the bucket the
+        value lands in (the newest one wins -- OpenMetrics exemplars
+        are "a recent representative", not a history); the Prometheus
+        exporter renders it in exemplar syntax on the bucket line.
+        """
         i = bisect.bisect_left(self.buckets, value)
         with self._lock:
             self._counts[i] += 1
             self._sum += value
             self._count += 1
+            if exemplar is not None:
+                if self._exemplars is None:
+                    self._exemplars = [None] * len(self._counts)
+                self._exemplars[i] = (exemplar, value)
 
     @property
     def count(self) -> int:
@@ -188,6 +203,20 @@ class Histogram:
         """Raw per-bucket counts (last entry is the ``+Inf`` bucket)."""
         with self._lock:
             return list(self._counts)
+
+    def exemplars(self) -> Dict[int, Tuple[str, float]]:
+        """Per-bucket exemplars, keyed by bucket index (``+Inf`` last).
+
+        Empty until an exemplar-carrying :meth:`observe`; only buckets
+        that received one appear.
+        """
+        with self._lock:
+            if self._exemplars is None:
+                return {}
+            return {
+                i: ex for i, ex in enumerate(self._exemplars)
+                if ex is not None
+            }
 
     def cumulative_counts(self) -> List[Tuple[float, int]]:
         """``(upper_bound, cumulative_count)`` pairs, ``+Inf`` last."""
@@ -232,7 +261,8 @@ class _NullGauge(Gauge):
 class _NullHistogram(Histogram):
     __slots__ = ()
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float,
+                exemplar: Optional[str] = None) -> None:
         pass
 
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 import enum
 import threading
 import time
-from typing import Callable, Optional
+from typing import Callable, Hashable, Optional
 
 __all__ = ["BreakerState", "CircuitBreaker"]
 
@@ -54,6 +54,11 @@ class CircuitBreaker:
     on_transition:
         Optional hook invoked (outside the internal lock is *not*
         guaranteed; keep it cheap) on every state change.
+    key:
+        Optional identity of whatever this breaker guards (the plan
+        fingerprint, for the per-plan breakers).  Purely descriptive:
+        transition hooks and incident events use it to say *which*
+        breaker opened instead of just "a breaker opened".
     """
 
     def __init__(
@@ -64,6 +69,7 @@ class CircuitBreaker:
         half_open_successes: int = 1,
         clock: Callable[[], float] = time.monotonic,
         on_transition: Optional[TransitionHook] = None,
+        key: Optional[Hashable] = None,
     ):
         if failure_threshold < 1:
             raise ValueError(
@@ -82,6 +88,7 @@ class CircuitBreaker:
         self.half_open_successes = int(half_open_successes)
         self._clock = clock
         self._on_transition = on_transition
+        self.key = key
         self._lock = threading.Lock()
         self._state = BreakerState.CLOSED
         self._consecutive_failures = 0

@@ -209,7 +209,11 @@ class ResilientExecutor:
             with self._lock:
                 self._breaker_opens += 1
             self._m_open_now.inc()
-            self.registry.emit("breaker_open", previous=old.value)
+            self.registry.emit(
+                "breaker_open",
+                previous=old.value,
+                key=str(breaker.key) if breaker.key is not None else None,
+            )
         elif old is BreakerState.OPEN:
             self._m_open_now.dec()
 
@@ -224,6 +228,7 @@ class ResilientExecutor:
                     half_open_successes=self.policy.breaker_half_open_successes,
                     clock=self.policy.clock,
                     on_transition=self._on_transition,
+                    key=key,
                 )
                 self._breakers[key] = breaker
                 while len(self._breakers) > self.policy.max_breakers:

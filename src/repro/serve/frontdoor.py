@@ -509,10 +509,15 @@ class FrontDoor:
         *,
         clock: Clock = monotonic,
         registry: Optional[MetricsRegistry] = None,
+        on_shed: Optional[Callable[[str, str], None]] = None,
     ):
         self.policy = policy
         self.clock = clock
         self.registry = get_registry() if registry is None else registry
+        #: Optional hook invoked as ``on_shed(tenant, reason)`` after
+        #: every shed is accounted (the blackbox's shed-spike detector
+        #: hangs here).  Called outside the front door's lock.
+        self.on_shed = on_shed
         self.queue = AgingQueue(
             aging_seconds=policy.aging_seconds, clock=clock
         )
@@ -556,6 +561,8 @@ class FrontDoor:
                 self._shed.get((tenant, reason), 0) + 1
             )
         self._shed_counter(tenant, reason).inc()
+        if self.on_shed is not None:
+            self.on_shed(tenant, reason)
 
     # -- admission -------------------------------------------------------
     def _bucket(self, tenant: str, cfg: TenantConfig) -> TokenBucket:

@@ -88,6 +88,7 @@ from repro.serve.plan_cache import CacheStats, PlanCache
 from repro.utils.validation import check_spmm_operand, check_spmv_operand
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle: shard imports serve
+    from repro.blackbox.core import BlackboxPolicy, BlackboxStats
     from repro.learn.selector import LearningPolicy, LearnStats
     from repro.shard.executor import (
         ShardExecutorStats,
@@ -210,6 +211,9 @@ class ServerStats:
     #: Online-selector accounting; ``None`` without a ``learning=``
     #: policy.
     learning: Optional[LearnStats] = None
+    #: Flight-recorder / debug-bundle accounting; ``None`` without a
+    #: ``blackbox=`` policy.
+    blackbox: Optional[BlackboxStats] = None
 
     @property
     def hit_rate(self) -> float:
@@ -264,6 +268,11 @@ class ServerStats:
             lines.append("online learning:")
             lines.extend(
                 "  " + line for line in self.learning.describe().splitlines()
+            )
+        if self.blackbox is not None:
+            lines.append("blackbox:")
+            lines.extend(
+                "  " + line for line in self.blackbox.describe().splitlines()
             )
         return "\n".join(lines)
 
@@ -359,6 +368,18 @@ class SpMVServer:
         on ``learn.decide`` trace spans and ``learn_*`` metrics.
         ``None`` (default) keeps the hot path byte-identical to an
         unlearned server.
+    blackbox:
+        Optional :class:`~repro.blackbox.BlackboxPolicy`.  When set,
+        every served request lands in a bounded flight-recorder ring
+        (tenant, arm, plan, cache hit, shard layout, resilience
+        outcome, wall + simulated latency, trace id), and incident
+        signals -- SLO breaches, breaker opens, worker-pool crashes,
+        shed-rate spikes, degraded requests -- fire a rate-limited
+        debug-bundle write under ``bundle_dir`` that
+        ``python -m repro doctor`` renders into an incident report.
+        ``None`` (default) allocates no recorder state and adds
+        nothing to the submit path beyond one ``is None`` check --
+        same pattern as ``resilience=``/``tracing=``.
     """
 
     def __init__(
@@ -376,6 +397,7 @@ class SpMVServer:
         tracing: Optional[TracingPolicy] = None,
         admission: Optional[AdmissionPolicy] = None,
         learning: Optional[LearningPolicy] = None,
+        blackbox: Optional[BlackboxPolicy] = None,
     ):
         if planner is not None:
             self._planner: Planner = planner
@@ -395,6 +417,17 @@ class SpMVServer:
         # Identity fast path: resubmitting the same matrix *object*
         # (solver traffic) skips structural hashing entirely.
         self._fingerprints = FingerprintCache()
+        #: The :class:`~repro.blackbox.Blackbox` behind a ``blackbox=``
+        #: server; ``None`` otherwise.  Built before the front door and
+        #: SLO monitors so their incident hooks can point at it; bound
+        #: (event sink + layout labels) at the end of construction.
+        self.blackbox = None
+        if blackbox is not None:
+            # Imported lazily -- same rationale as the shard layer: no
+            # import tax on servers that never fly a recorder.
+            from repro.blackbox.core import Blackbox
+
+            self.blackbox = Blackbox(blackbox, registry=self.registry)
         self.learning = learning
         self._selector = None
         if learning is not None:
@@ -424,16 +457,26 @@ class SpMVServer:
         self.tracing = tracing
         self.admission = admission
         self.frontdoor: Optional[FrontDoor] = (
-            FrontDoor(admission, registry=self.registry)
+            FrontDoor(
+                admission,
+                registry=self.registry,
+                on_shed=(self.blackbox.note_shed
+                         if self.blackbox is not None else None),
+            )
             if admission is not None else None
         )
         self.trace_recorder: Optional[TraceRecorder] = None
         self.slo: Optional[SLOMonitor] = None
         #: Per-priority-class SLO monitors (any tracing server).
         self.slo_by_class: Dict[str, SLOMonitor] = {}
+        #: Request-latency histogram carrying trace-id exemplars; built
+        #: only for tracing servers (exemplars need trace ids, and an
+        #: untraced server's metric families must stay unchanged).
+        self._m_request_seconds = None
         if tracing is not None:
             self.trace_recorder = TraceRecorder(
-                capacity=tracing.recorder_capacity
+                capacity=tracing.recorder_capacity,
+                registry=self.registry,
             )
             target = tracing.slo if tracing.slo is not None else SLOTarget()
             self.slo = SLOMonitor(
@@ -441,6 +484,16 @@ class SpMVServer:
                 window=tracing.latency_window,
                 registry=self.registry,
                 refresh_every=tracing.refresh_every,
+                # The blackbox turns per-request breaches into debug
+                # bundles; only the overall monitor triggers (the
+                # per-class monitors see the same latencies).
+                on_breach=(self.blackbox.on_slo_breach
+                           if self.blackbox is not None else None),
+            )
+            self._m_request_seconds = self.registry.histogram(
+                "serve_request_seconds",
+                help_text="End-to-end request wall seconds "
+                          "(buckets carry trace-id exemplars).",
             )
             # One monitor per priority class: an overloaded batch
             # class must not hide a healthy latency class (or vice
@@ -538,6 +591,10 @@ class SpMVServer:
             )
             for stage in ("fingerprint", "plan", "execute")
         }
+        # Bound last: binding reads the final layout (shard backend,
+        # selector, recorder) and registers the incident event sink.
+        if self.blackbox is not None:
+            self.blackbox.bind(self)
 
     # -- lifecycle -------------------------------------------------------
     def __enter__(self) -> "SpMVServer":
@@ -565,6 +622,8 @@ class SpMVServer:
             self._scheduler.close()
         if self._sharded is not None:
             self._sharded.close()
+        if self.blackbox is not None:
+            self.blackbox.close()
 
     @property
     def closed(self) -> bool:
@@ -792,6 +851,13 @@ class SpMVServer:
                     result = fn()
         finally:
             elapsed = perf_counter() - t0
+            # Exemplar first: a breach fired by the SLO observe below
+            # snapshots metrics, and the bundle should already carry
+            # this request's trace id against its latency bucket.
+            if self._m_request_seconds is not None:
+                self._m_request_seconds.observe(
+                    elapsed, exemplar=ctx.trace_id
+                )
             if self.slo is not None:
                 self.slo.observe(elapsed)
             if slo_class is not None:
@@ -869,6 +935,8 @@ class SpMVServer:
         via :meth:`~repro.serve.frontdoor.FrontDoor.exploration_allowed`;
         without one, any explicit ``deadline`` argument gates it).
         """
+        bb = self.blackbox
+        t_flight = perf_counter() if bb is not None else 0.0
         resolved_tenant = DEFAULT_TENANT if tenant is None else tenant
         ticket = None
         if self.frontdoor is not None:
@@ -901,6 +969,10 @@ class SpMVServer:
                 or resolved_priority != "latency"):
             result = replace(
                 result, tenant=resolved_tenant, priority=resolved_priority
+            )
+        if bb is not None:
+            bb.record_request(
+                result, kind=kind, wall=perf_counter() - t_flight
             )
         return result
 
@@ -1166,5 +1238,9 @@ class SpMVServer:
                 learning=(
                     self._selector.stats()
                     if self._selector is not None else None
+                ),
+                blackbox=(
+                    self.blackbox.stats()
+                    if self.blackbox is not None else None
                 ),
             )

@@ -833,6 +833,14 @@ class ProcessShardBackend:
                 self._pool = None
             self._restarts += 1
         self._m_restarts.inc()
+        # Structured incident signal: a worker death is exactly the
+        # moment a forensic snapshot is worth its cost (the blackbox
+        # listens for this event name).
+        self.registry.emit(
+            "worker_crash",
+            restarts=self._restarts,
+            error=type(exc).__name__,
+        )
         return WorkerCrashError(
             f"process-pool worker died mid-request ({exc}); "
             f"pool restarted"

@@ -69,15 +69,26 @@ class TraceRecorder:
     capacity:
         Most spans retained; older spans are displaced first and
         counted in :attr:`dropped`.
+    registry:
+        Optional metrics registry; when given, displaced spans also
+        count into ``trace_spans_dropped_total`` so ring loss is
+        visible on the same scrape as the latency it silently shapes.
     """
 
-    def __init__(self, capacity: int = 4096):
+    def __init__(self, capacity: int = 4096, *, registry=None):
         if capacity <= 0:
             raise ValueError(f"capacity must be > 0, got {capacity}")
         self.capacity = int(capacity)
         self._lock = threading.Lock()
         self._records: "deque[SpanRecord]" = deque(maxlen=self.capacity)
         self._dropped = 0
+        self._m_dropped = None
+        if registry is not None:
+            self._m_dropped = registry.counter(
+                "trace_spans_dropped_total",
+                help_text="Completed spans displaced from the trace "
+                          "recorder's ring.",
+            )
 
     # -- recording -------------------------------------------------------
     def record_span(self, span: Span) -> None:
@@ -101,9 +112,12 @@ class TraceRecorder:
     def record(self, record: SpanRecord) -> None:
         """Append one record (ring semantics; oldest displaced first)."""
         with self._lock:
-            if len(self._records) == self.capacity:
+            dropped = len(self._records) == self.capacity
+            if dropped:
                 self._dropped += 1
             self._records.append(record)
+        if dropped and self._m_dropped is not None:
+            self._m_dropped.inc()
 
     # -- access ----------------------------------------------------------
     @property

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from repro.observe.registry import MetricsRegistry, get_registry
 from repro.trace.quantiles import SlidingQuantiles
@@ -101,6 +101,13 @@ class SLOMonitor:
         per-priority-class monitor).  Without distinct labels, two
         monitors on one registry would share the same instruments and
         overwrite each other's gauges.
+    on_breach:
+        Optional callback invoked as ``on_breach(objective, seconds,
+        bound)`` for every per-request breach, after the counters are
+        accounted and outside the monitor's lock (the blackbox hangs
+        its debug-bundle trigger here).  Keep it cheap relative to the
+        breach rate; a raising callback propagates to the observing
+        hot path by design.
     """
 
     def __init__(
@@ -111,6 +118,7 @@ class SLOMonitor:
         registry: Optional[MetricsRegistry] = None,
         refresh_every: int = 16,
         labels: Optional[Dict[str, str]] = None,
+        on_breach: Optional[Callable[[str, float, float], None]] = None,
     ):
         if refresh_every <= 0:
             raise ValueError(
@@ -119,6 +127,7 @@ class SLOMonitor:
         self.target = target
         self.registry = get_registry() if registry is None else registry
         self.refresh_every = int(refresh_every)
+        self.on_breach = on_breach
         self.labels = dict(labels) if labels else {}
         self._quantiles = SlidingQuantiles(window=window)
         self._lock = threading.Lock()
@@ -149,11 +158,16 @@ class SLOMonitor:
     def observe(self, seconds: float) -> None:
         """Record one request latency; account per-request breaches."""
         self._quantiles.observe(seconds)
+        breached = []
         for name, bound in self.target.bounds().items():
             if seconds > bound:
                 with self._lock:
                     self._breaches[name] += 1
                 self._m_breaches[name].inc()
+                breached.append((name, bound))
+        if breached and self.on_breach is not None:
+            for name, bound in breached:
+                self.on_breach(name, seconds, bound)
         with self._lock:
             self._since_refresh += 1
             refresh = self._since_refresh >= self.refresh_every
